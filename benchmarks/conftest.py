@@ -1,0 +1,29 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints the resulting rows/series.  Simulated experiments are
+deterministic, so every benchmark runs exactly once
+(``pedantic(rounds=1)``); the benchmark timing is the wall-clock cost
+of regenerating the artifact.
+
+``REPRO_BENCH_SCALE`` (default 0.25) scales the workloads: 1.0
+reproduces the full-size runs reported in EXPERIMENTS.md, smaller
+values keep the suite quick.  Event *structure* (syscall counts, page
+profiles, curve shapes) is scale-invariant; timer counts shrink with
+the scale.
+"""
+
+import os
+
+import pytest
+
+#: workload scale for benchmark runs
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+#: RayTracer scale for the Figure 7 sweep (45 machine runs)
+FIG7_RT_SCALE = float(os.environ.get("REPRO_FIG7_SCALE", "0.08"))
+
+
+def run_once(benchmark, fn):
+    """Run a deterministic experiment exactly once under timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,28 @@
+"""repro: a reproduction of "Multiple Instruction Stream Processor"
+(Hankins et al., ISCA 2006).
+
+The package implements the MISP architecture -- sequencers as
+user-visible architectural resources, the SIGNAL instruction,
+YIELD-CONDITIONAL asynchronous control transfer, proxy execution, and
+ring-transition serialization -- on a discrete-event machine simulator
+with a model OS kernel, plus the ShredLib user-level threading runtime
+and the paper's full Section 5 evaluation.
+
+Quick start::
+
+    from repro.core import build_machine
+    from repro.workloads import REGISTRY, run_misp, run_1p
+
+    workload = REGISTRY.get("RayTracer")
+    base = run_1p(workload)
+    misp = run_misp(workload, ams_count=7)
+    print("speedup:", base.cycles / misp.cycles)
+"""
+
+from repro.errors import ReproError
+from repro.params import DEFAULT_PARAMS, PAGE_SIZE, MachineParams
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "DEFAULT_PARAMS", "PAGE_SIZE", "MachineParams",
+           "__version__"]

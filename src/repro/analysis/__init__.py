@@ -1,0 +1,27 @@
+"""Evaluation harness: regenerates every table and figure of Section 5."""
+
+from repro.analysis.figure4 import (
+    Figure4Result, SpeedupRow, format_figure4, run_figure4,
+)
+from repro.analysis.figure5 import (
+    FIGURE5_SIGNAL_COSTS, SensitivityRow, format_figure5,
+    sensitivity_from_run,
+)
+from repro.analysis.figure7 import (
+    FIGURE7_SERIES, Figure7Result, format_figure7, run_figure7,
+)
+from repro.analysis.table1 import (
+    PAPER_TABLE1, EventRow, format_table1, measured_row, paper_row_scaled,
+)
+from repro.analysis.table2 import (
+    PortRow, format_table2, ode_restructuring_speedup, run_table2,
+)
+
+__all__ = [
+    "Figure4Result", "SpeedupRow", "format_figure4", "run_figure4",
+    "FIGURE5_SIGNAL_COSTS", "SensitivityRow", "format_figure5",
+    "sensitivity_from_run", "FIGURE7_SERIES", "Figure7Result",
+    "format_figure7", "run_figure7", "PAPER_TABLE1", "EventRow",
+    "format_table1", "measured_row", "paper_row_scaled", "PortRow",
+    "format_table2", "ode_restructuring_speedup", "run_table2",
+]

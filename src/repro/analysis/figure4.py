@@ -1,0 +1,123 @@
+"""Figure 4: MISP vs SMP speedup over 1P, for all 16 applications.
+
+"Figure 4 shows, for each application, MISP performance as speedup
+over single sequencer performance.  For comparison, we also show the
+performance for those same applications when executing on a similarly
+configured SMP machine with eight cores."  (Section 5.3)
+
+The companion text also gives the two summary statistics this module
+computes: "The RMS applications perform, on average, 1.5% slower on
+MISP than their performance on the SMP system, while the SPEComp
+applications perform, on average, 1.9% faster on MISP."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.params import DEFAULT_PARAMS, MachineParams
+from repro.workloads.base import REGISTRY, WorkloadSpec
+from repro.workloads.runner import RunResult, run_1p, run_misp, run_smp
+
+
+@dataclass(frozen=True)
+class SpeedupRow:
+    """One bar pair of Figure 4."""
+
+    workload: str
+    suite: str
+    cycles_1p: int
+    cycles_misp: int
+    cycles_smp: int
+
+    @property
+    def misp_speedup(self) -> float:
+        return self.cycles_1p / self.cycles_misp
+
+    @property
+    def smp_speedup(self) -> float:
+        return self.cycles_1p / self.cycles_smp
+
+    @property
+    def misp_vs_smp(self) -> float:
+        """Relative MISP slowdown vs SMP (positive = MISP slower)."""
+        return self.cycles_misp / self.cycles_smp - 1.0
+
+
+@dataclass
+class Figure4Result:
+    rows: list[SpeedupRow]
+    #: full run records for further analysis (Table 1, Figure 5)
+    misp_runs: dict[str, RunResult]
+
+    def row(self, workload: str) -> SpeedupRow:
+        for row in self.rows:
+            if row.workload == workload:
+                return row
+        raise KeyError(workload)
+
+    def mean_misp_vs_smp(self, suite: str) -> float:
+        """Average MISP-vs-SMP delta for one suite (the §5.3 numbers)."""
+        deltas = [r.misp_vs_smp for r in self.rows if r.suite == suite]
+        if not deltas:
+            raise ValueError(f"no rows for suite '{suite}'")
+        return sum(deltas) / len(deltas)
+
+
+def run_figure4(workload_names: Sequence[str],
+                ams_count: int = 7,
+                params: MachineParams = DEFAULT_PARAMS,
+                scale: Optional[float] = None) -> Figure4Result:
+    """Execute the Figure 4 experiment for the named workloads.
+
+    ``scale`` rebuilds each workload scaled (for fast CI runs); the
+    default uses the registered full-size specs.
+    """
+    rows: list[SpeedupRow] = []
+    misp_runs: dict[str, RunResult] = {}
+    ncpus = ams_count + 1
+    for name in workload_names:
+        spec = _spec(name, scale)
+        r1 = run_1p(spec, params=params)
+        rm = run_misp(spec, ams_count=ams_count, params=params)
+        rs = run_smp(spec, ncpus=ncpus, params=params)
+        rows.append(SpeedupRow(name, spec.suite, r1.cycles, rm.cycles,
+                               rs.cycles))
+        misp_runs[name] = rm
+    return Figure4Result(rows, misp_runs)
+
+
+def _spec(name: str, scale: Optional[float]) -> WorkloadSpec:
+    if scale is None:
+        return REGISTRY.get(name)
+    from repro.workloads import rms, speccomp
+    factories = {
+        "ADAt": rms.make_adat, "dense_mmm": rms.make_dense_mmm,
+        "dense_mvm": rms.make_dense_mvm,
+        "dense_mvm_sym": rms.make_dense_mvm_sym, "gauss": rms.make_gauss,
+        "kmeans": rms.make_kmeans, "sparse_mvm": rms.make_sparse_mvm,
+        "sparse_mvm_sym": rms.make_sparse_mvm_sym,
+        "sparse_mvm_trans": rms.make_sparse_mvm_trans,
+        "svm_c": rms.make_svm_c, "RayTracer": rms.make_raytracer,
+    }
+    if name in factories:
+        return factories[name](scale=scale)
+    return speccomp.make_speccomp(name, scale=scale)
+
+
+def format_figure4(result: Figure4Result) -> str:
+    """Render the figure as the table of bar heights."""
+    lines = [f"{'application':18s} {'MISP':>6s} {'SMP':>6s} {'Δ(M/S)':>8s}",
+             "-" * 42]
+    for row in result.rows:
+        lines.append(f"{row.workload:18s} {row.misp_speedup:6.2f} "
+                     f"{row.smp_speedup:6.2f} {row.misp_vs_smp * 100:+7.2f}%")
+    for suite, label in (("rms", "RMS"), ("speccomp", "SPEComp")):
+        try:
+            delta = result.mean_misp_vs_smp(suite) * 100
+        except ValueError:
+            continue
+        lines.append(f"{label} mean MISP-vs-SMP: {delta:+.2f}% "
+                     f"(paper: {'+1.5%' if suite == 'rms' else '-1.9%'})")
+    return "\n".join(lines)

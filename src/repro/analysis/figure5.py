@@ -1,0 +1,96 @@
+"""Figure 5: sensitivity to the inter-sequencer signal cost.
+
+Section 5.3's method, reproduced exactly: take each application's
+serializing-event counts, split them into OMS-originated and
+AMS-originated populations, and apply the Section 5.1 equations to
+compute the overhead each signal cost adds over an ideal (zero-cost
+signaling) implementation.  The paper evaluates signal ∈ {500, 1000,
+5000} cycles and finds at most 0.65% overhead (kmeans), concluding
+that "throughput performance of the applications is insensitive to
+the overhead of the inter-sequencer signaling".
+
+One caveat documented in EXPERIMENTS.md: our simulated runs are
+time-compressed (a 2M-cycle timer quantum against the testbed's tens
+of millions), so events are denser per cycle and the *absolute*
+percentages are correspondingly larger.  The module therefore also
+reports a decompressed estimate using the paper's quantum for
+apples-to-apples magnitudes; orderings and linearity in the signal
+cost are invariant either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.overhead import SignalSensitivity
+from repro.params import DEFAULT_PARAMS, MachineParams
+from repro.workloads.runner import RunResult
+
+#: signal costs evaluated in Figure 5 (cycles)
+FIGURE5_SIGNAL_COSTS = (500, 1000, 5000)
+
+#: approximate timer-tick period of the paper's 3.0 GHz Windows testbed
+PAPER_TICK_CYCLES = 45_000_000
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    """One application's Figure 5 series."""
+
+    workload: str
+    oms_events: int
+    ams_events: int
+    ideal_cycles: int
+    #: overhead fraction per signal cost, in FIGURE5_SIGNAL_COSTS order
+    overheads: tuple[float, ...]
+    #: the same, rescaled to the paper's event density
+    overheads_decompressed: tuple[float, ...]
+
+
+def sensitivity_from_run(result: RunResult,
+                         params: MachineParams = DEFAULT_PARAMS,
+                         signal_costs: Sequence[int] = FIGURE5_SIGNAL_COSTS,
+                         ) -> SensitivityRow:
+    """Apply the Section 5.1 model to one MISP run's event counts."""
+    events = result.serializing_events()
+    oms_events = (events["oms_syscall"] + events["oms_pf"]
+                  + events["oms_timer"] + events["oms_interrupt"])
+    ams_events = events["ams_syscall"] + events["ams_pf"]
+    # ideal cycles: remove the signal-dependent part of the measured run
+    measured = result.cycles
+    model = SignalSensitivity(oms_events, ams_events, ideal_cycles=1)
+    ideal = max(1, measured - model.added_cycles(params.signal_cost))
+    model = SignalSensitivity(oms_events, ams_events, ideal_cycles=ideal)
+    overheads = tuple(model.overhead_fraction(s) for s in signal_costs)
+    # decompress: the paper's tick period vs ours stretches runtime
+    # (and therefore shrinks event density) by the quantum ratio for
+    # timer-driven events; apply it to the whole population as a
+    # conservative magnitude correction.
+    stretch = PAPER_TICK_CYCLES / params.timer_quantum
+    decompressed = SignalSensitivity(oms_events, ams_events,
+                                     ideal_cycles=int(ideal * stretch))
+    overheads_dec = tuple(decompressed.overhead_fraction(s)
+                          for s in signal_costs)
+    return SensitivityRow(result.workload, oms_events, ams_events, ideal,
+                          overheads, overheads_dec)
+
+
+def format_figure5(rows: Sequence[SensitivityRow],
+                   signal_costs: Sequence[int] = FIGURE5_SIGNAL_COSTS) -> str:
+    header = (f"{'application':18s} "
+              + " ".join(f"{s:>7d}" for s in signal_costs)
+              + "   (decompressed: "
+              + " ".join(str(s) for s in signal_costs) + ")")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        measured = " ".join(f"{o * 100:6.2f}%" for o in row.overheads)
+        paperlike = " ".join(f"{o * 100:6.3f}%"
+                             for o in row.overheads_decompressed)
+        lines.append(f"{row.workload:18s} {measured}   [{paperlike}]")
+    worst = max(rows, key=lambda r: r.overheads[-1])
+    mean = sum(r.overheads[-1] for r in rows) / len(rows)
+    lines.append(f"signal={signal_costs[-1]}: mean {mean * 100:.2f}%, "
+                 f"worst {worst.workload} {worst.overheads[-1] * 100:.2f}% "
+                 "(paper: mean 0.15%, worst Kmeans 0.65%)")
+    return "\n".join(lines)

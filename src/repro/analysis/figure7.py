@@ -1,0 +1,53 @@
+"""Figure 7: MISP MP throughput under multiprogramming (Section 5.4).
+
+Regenerates the figure's nine series -- ideal, smp, 4x2, 2x4, 1x8,
+1x7+1, 1x6+2, 1x5+3, 1x4+4 -- each a speedup-vs-unloaded curve for
+RayTracer as 0..4 single-threaded processes are added.
+
+Expected shape (Section 5.4): the 1x8 configuration degrades "nearly
+linearly" because every background process time-shares the single OMS
+and idles the AMSs; adding MISP processors (2x4, 4x2) flattens the
+curve; the per-load ideal partition (background processes on AMS-less
+OMSs) stays at 1.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.params import DEFAULT_PARAMS, MachineParams
+from repro.workloads.multiprog import DEFAULT_RT_SCALE, speedup_curve
+
+#: series plotted in Figure 7, in legend order
+FIGURE7_SERIES = ["ideal", "smp", "4x2", "2x4", "1x8",
+                  "1x7+1", "1x6+2", "1x5+3", "1x4+4"]
+
+
+@dataclass(frozen=True)
+class Figure7Result:
+    loads: tuple[int, ...]
+    #: config name -> speedup-vs-unloaded per load
+    curves: dict[str, list[float]]
+
+    def curve(self, config: str) -> list[float]:
+        return self.curves[config]
+
+
+def run_figure7(series: Sequence[str] = FIGURE7_SERIES,
+                loads: Sequence[int] = range(5),
+                rt_scale: float = DEFAULT_RT_SCALE,
+                params: MachineParams = DEFAULT_PARAMS) -> Figure7Result:
+    curves = {config: speedup_curve(config, loads, rt_scale, params)
+              for config in series}
+    return Figure7Result(tuple(loads), curves)
+
+
+def format_figure7(result: Figure7Result) -> str:
+    header = (f"{'config':8s} "
+              + " ".join(f"load={n:<2d}" for n in result.loads))
+    lines = [header, "-" * len(header)]
+    for config, curve in result.curves.items():
+        values = " ".join(f"{v:7.3f}" for v in curve)
+        lines.append(f"{config:8s} {values}")
+    return "\n".join(lines)

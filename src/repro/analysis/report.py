@@ -1,0 +1,92 @@
+"""One-stop evaluation report: regenerate every table and figure.
+
+``python -m repro.analysis.report`` runs the full Section 5 evaluation
+(Figure 4, Table 1, Figure 5, Figure 6, Figure 7, Table 2) and prints
+the paper-shaped artifacts.  Individual pieces can be run through the
+benchmarks/ harness instead; this module is the human-readable driver.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.analysis.figure4 import format_figure4, run_figure4
+from repro.analysis.figure5 import format_figure5, sensitivity_from_run
+from repro.analysis.figure7 import FIGURE7_SERIES, format_figure7, run_figure7
+from repro.analysis.table1 import format_table1, measured_row
+from repro.analysis.table2 import (
+    format_table2, ode_restructuring_speedup, run_table2,
+)
+from repro.core.mp import FIGURE6_CONFIGS, config_name, parse_config
+
+
+def figure6_text() -> str:
+    """Figure 6: the MISP MP configurations, as partition listings."""
+    lines = ["Figure 6 -- MISP MP configurations (8 sequencers total):"]
+    for name in FIGURE6_CONFIGS:
+        counts = parse_config(name)
+        parts = " | ".join(
+            "OMS" + (f"+{c}AMS" if c else "") for c in counts)
+        lines.append(f"  {config_name(counts):7s} -> {parts}")
+    return "\n".join(lines)
+
+
+def full_report(workloads: Optional[Sequence[str]] = None,
+                scale: Optional[float] = None,
+                rt_scale: float = 0.15,
+                stream=sys.stdout) -> None:
+    from repro.workloads import FIGURE4_ORDER
+    names = list(workloads or FIGURE4_ORDER)
+
+    def emit(text: str) -> None:
+        print(text, file=stream)
+        stream.flush()
+
+    t0 = time.time()
+    emit("=" * 70)
+    emit("MISP reproduction -- full evaluation report")
+    emit("=" * 70)
+
+    emit("\n--- Figure 4: speedup vs 1P (MISP 1x8 vs SMP 8-way) ---")
+    fig4 = run_figure4(names, scale=scale)
+    emit(format_figure4(fig4))
+
+    emit("\n--- Table 1: serializing events (MISP 1x8) ---")
+    rows = [measured_row(fig4.misp_runs[name]) for name in names]
+    emit(format_table1(rows))
+
+    emit("\n--- Figure 5: sensitivity to signal cost ---")
+    sens = [sensitivity_from_run(fig4.misp_runs[name]) for name in names]
+    emit(format_figure5(sens))
+
+    emit("\n--- " + figure6_text())
+
+    emit("\n--- Figure 7: MP throughput under multiprogramming ---")
+    fig7 = run_figure7(rt_scale=rt_scale)
+    emit(format_figure7(fig7))
+
+    emit("\n--- Table 2: porting legacy applications ---")
+    emit(format_table2(run_table2()))
+    emit(f"ODE restructuring speedup: {ode_restructuring_speedup():.2f}x")
+
+    emit(f"\n[report completed in {time.time() - t0:.1f}s]")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=None,
+                        help="workload scale factor (default: full size)")
+    parser.add_argument("--rt-scale", type=float, default=0.15,
+                        help="RayTracer scale for Figure 7")
+    parser.add_argument("--workloads", nargs="*", default=None,
+                        help="subset of workloads to run")
+    args = parser.parse_args(argv)
+    full_report(args.workloads, args.scale, args.rt_scale)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

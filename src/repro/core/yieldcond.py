@@ -1,0 +1,57 @@
+"""YIELD-CONDITIONAL: trigger/response asynchronous control transfer.
+
+Section 2.4: "a sequencer can set up a trigger-response mapping between
+an ingress inter-sequencer signal and a corresponding handler.  When
+the anticipated asynchronous event occurs, the shred effectively
+performs an asynchronous function call to the handler."  The mechanism
+descends from Virtual Multithreading (Wang et al., ASPLOS 2004).
+
+:class:`ScenarioTable` is the per-sequencer trigger-response mapping.
+Scenarios are small enumerated trigger conditions; the canonical user
+of the mechanism is the OMS proxy handler, which registers for
+:attr:`Scenario.PROXY_REQUEST` (Figure 3, "Register Proxy Handler").
+The mini-ISA exposes the same table through ``YMONITOR``/``YRET``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Optional
+
+from repro.errors import ConfigurationError
+
+
+class Scenario(enum.Enum):
+    """Architecturally defined trigger conditions."""
+
+    #: an AMS relayed a fault-type exception or OS service request
+    PROXY_REQUEST = "proxy_request"
+    #: a user-level ingress signal addressed to a running sequencer
+    USER_SIGNAL = "user_signal"
+    #: a shred continuation was delivered to an idle sequencer
+    SHRED_START = "shred_start"
+
+
+class ScenarioTable:
+    """Per-sequencer mapping of :class:`Scenario` to handler."""
+
+    def __init__(self) -> None:
+        self._handlers: dict[Scenario, Any] = {}
+
+    def register(self, scenario: Scenario, handler: Any) -> None:
+        """Install a handler; re-registration replaces (last wins)."""
+        self._handlers[scenario] = handler
+
+    def unregister(self, scenario: Scenario) -> None:
+        if scenario not in self._handlers:
+            raise ConfigurationError(f"no handler registered for {scenario}")
+        del self._handlers[scenario]
+
+    def lookup(self, scenario: Scenario) -> Optional[Any]:
+        return self._handlers.get(scenario)
+
+    def __contains__(self, scenario: Scenario) -> bool:
+        return scenario in self._handlers
+
+    def __len__(self) -> int:
+        return len(self._handlers)

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the MISP reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Architectural *events* that are
+part of normal machine operation (page faults, syscall traps) are NOT
+exceptions in the Python sense -- they flow through the effect types in
+:mod:`repro.exec.ops` and :mod:`repro.isa.interpreter`.  The exceptions
+here signal genuine programming or configuration errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A machine, processor, or workload was configured inconsistently."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an invalid internal state."""
+
+
+class DeadlockError(SimulationError):
+    """No sequencer can make progress and unfinished work remains."""
+
+
+class MemoryError_(ReproError):
+    """Physical or virtual memory subsystem misuse (e.g. out of frames)."""
+
+
+class ProtectionError(ReproError):
+    """A privilege-level violation (e.g. Ring-0 instruction on an AMS)."""
+
+
+class AssemblerError(ReproError):
+    """The mini-ISA assembler rejected a source program."""
+
+
+class InvalidInstructionError(ReproError):
+    """The interpreter decoded an unknown or malformed instruction."""
+
+
+class ShredLibError(ReproError):
+    """Misuse of the ShredLib user-level runtime API."""

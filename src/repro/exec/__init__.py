@@ -1,0 +1,15 @@
+"""Direct-execution model: ops, streams, and workload contexts."""
+
+from repro.exec.context import DEFAULT_CHUNK, ExecContext
+from repro.exec.ops import (
+    AtomicOp, Block, Compute, ExitShred, HaltOp, MachineOp, Op,
+    SchedSentinel, SignalShred, SyscallOp, Touch, YieldShred,
+)
+from repro.exec.stream import DirectStream, InstructionStream
+
+__all__ = [
+    "DEFAULT_CHUNK", "ExecContext", "AtomicOp", "Block", "Compute",
+    "ExitShred", "HaltOp", "MachineOp", "Op", "SchedSentinel",
+    "SignalShred", "SyscallOp", "Touch", "YieldShred", "DirectStream",
+    "InstructionStream",
+]

@@ -1,0 +1,118 @@
+"""Execution context handed to direct-execution bodies.
+
+An :class:`ExecContext` is the "standard library" a workload body uses
+to express work: chunked computation, page touches, system calls.  It
+is deliberately thin -- every helper is a generator that yields the
+ops from :mod:`repro.exec.ops` -- so bodies read like the loop nests
+they model::
+
+    def worker(ctx, data):
+        yield from ctx.compute(2_000_000)
+        yield from ctx.touch_range(data, 0, data.num_pages)
+        yield from ctx.syscall("write")
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Any, Iterator, Optional
+
+from repro.exec.ops import Compute, Op, SyscallOp, Touch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.process import Process
+    from repro.mem.addrspace import Region
+    from repro.params import MachineParams
+
+
+#: Default compute chunk so asynchronous events are sampled often
+#: enough (see :class:`repro.exec.ops.Compute`).
+DEFAULT_CHUNK = 25_000
+
+
+class ExecContext:
+    """Per-process helper for writing direct-execution bodies.
+
+    One context is shared by all shreds of a process; per-shred state
+    (such as the RNG streams handed out by :meth:`rng`) is derived
+    deterministically so runs are reproducible.
+    """
+
+    def __init__(self, process: "Process", params: "MachineParams",
+                 seed: int = 0) -> None:
+        self.process = process
+        self.params = params
+        self.seed = seed
+        #: back-reference installed by the runner; enables
+        #: :meth:`spawn_native` (legacy apps mixing native OS threads
+        #: with shreds, like the restructured Open Dynamics Engine)
+        self.machine = None
+
+    def spawn_native(self, name: str, body, pinned_cpu: Optional[int] = None):
+        """Create a native OS thread in this process (not a shred).
+
+        The paper's Section 5.5: "By using a native OS thread to
+        handle user I/O and a separate native OS thread consisting of
+        multiple shreds to perform the compute-intensive parallelized
+        computation, the AMSs were more efficiently utilized."
+        """
+        if self.machine is None:
+            raise RuntimeError("context has no machine; use a runner "
+                               "from repro.workloads.runner")
+        return self.machine.spawn_thread(self.process, name, body,
+                                         pinned_cpu=pinned_cpu)
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def reserve(self, name: str, num_pages: int) -> "Region":
+        """Reserve a demand-zero region in the process address space."""
+        return self.process.address_space.reserve(name, num_pages)
+
+    def region(self, name: str) -> "Region":
+        return self.process.address_space.region(name)
+
+    # ------------------------------------------------------------------
+    # Op generators
+    # ------------------------------------------------------------------
+    def compute(self, cycles: int, chunk: int = DEFAULT_CHUNK) -> Iterator[Op]:
+        """Yield ``cycles`` of computation in interruptible chunks."""
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        remaining = cycles
+        while remaining > 0:
+            step = min(remaining, chunk)
+            remaining -= step
+            yield Compute(step)
+
+    def touch(self, region: "Region", page_index: int,
+              write: bool = False) -> Iterator[Op]:
+        """Touch a single page."""
+        yield Touch(region, page_index, write)
+
+    def touch_range(self, region: "Region", start: int, count: int,
+                    write: bool = False, stride: int = 1,
+                    compute_per_page: int = 0) -> Iterator[Op]:
+        """Touch ``count`` pages starting at ``start``.
+
+        ``compute_per_page`` interleaves computation with the touches,
+        modelling a loop that streams over the data.
+        """
+        if stride <= 0:
+            raise ValueError("stride must be positive")
+        for i in range(count):
+            yield Touch(region, start + i * stride, write)
+            if compute_per_page > 0:
+                yield from self.compute(compute_per_page)
+
+    def syscall(self, kind: str, cost: Optional[int] = None,
+                arg: Any = None) -> Iterator[Op]:
+        """Trap to the OS for service ``kind``."""
+        yield SyscallOp(kind, cost, arg)
+
+    # ------------------------------------------------------------------
+    # Determinism helpers
+    # ------------------------------------------------------------------
+    def rng(self, stream: int) -> random.Random:
+        """A deterministic RNG stream (e.g. one per shred)."""
+        return random.Random((self.seed << 20) ^ stream)

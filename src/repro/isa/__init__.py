@@ -1,0 +1,8 @@
+"""Mini-ISA substrate: instructions, assembler, interpreter."""
+
+from repro.isa.assembler import assemble
+from repro.isa.instructions import NUM_REGS, SP, Instruction, Opcode
+from repro.isa.interpreter import YIELD_SID_REG, AsmStream
+
+__all__ = ["assemble", "NUM_REGS", "SP", "Instruction", "Opcode",
+           "YIELD_SID_REG", "AsmStream"]

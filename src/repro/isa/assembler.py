@@ -1,0 +1,165 @@
+"""Two-pass assembler for the mini-ISA.
+
+Source format: one instruction per line; ``;`` or ``#`` start
+comments; ``label:`` defines a jump target.  Register operands are
+``r0``..``r7`` (``sp`` aliases ``r7``); immediates are decimal or hex;
+SYS takes a quoted or bare service name.
+
+Example::
+
+    boot:
+        li   r0, 0          ; accumulator
+        li   r1, 10
+    loop:
+        addi r0, r0, 3
+        addi r1, r1, -1
+        bne  r1, r2, loop   ; r2 is zero at reset
+        sys  write
+        halt
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.errors import AssemblerError
+from repro.isa.instructions import NUM_REGS, SP, Instruction, Opcode
+
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def _strip(line: str) -> str:
+    for marker in (";", "#"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line.strip()
+
+
+def _parse_reg(token: str, lineno: int) -> int:
+    token = token.lower()
+    if token == "sp":
+        return SP
+    if token.startswith("r") and token[1:].isdigit():
+        reg = int(token[1:])
+        if 0 <= reg < NUM_REGS:
+            return reg
+    raise AssemblerError(f"line {lineno}: bad register '{token}'")
+
+
+def _parse_imm(token: str, lineno: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"line {lineno}: bad immediate '{token}'") from None
+
+
+def assemble(source: str) -> list[Instruction]:
+    """Assemble source text into a program (list of instructions)."""
+    labels: dict[str, int] = {}
+    parsed: list[tuple[int, str, list[str]]] = []
+
+    # pass 1: tokenize, collect labels
+    index = 0
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = _strip(raw)
+        if not line:
+            continue
+        while ":" in line:
+            label, _, rest = line.partition(":")
+            label = label.strip()
+            if not _LABEL_RE.match(label):
+                raise AssemblerError(f"line {lineno}: bad label '{label}'")
+            if label in labels:
+                raise AssemblerError(f"line {lineno}: duplicate label '{label}'")
+            labels[label] = index
+            line = rest.strip()
+        if not line:
+            continue
+        mnemonic, _, operands = line.partition(" ")
+        tokens = [t.strip() for t in operands.split(",") if t.strip()] \
+            if operands.strip() else []
+        parsed.append((lineno, mnemonic.lower(), tokens))
+        index += 1
+
+    # pass 2: encode
+    program: list[Instruction] = []
+    for lineno, mnemonic, tokens in parsed:
+        try:
+            opcode = Opcode(mnemonic)
+        except ValueError:
+            raise AssemblerError(
+                f"line {lineno}: unknown instruction '{mnemonic}'") from None
+        program.append(_encode(opcode, tokens, labels, lineno))
+    return program
+
+
+def _resolve(label: str, labels: dict[str, int], lineno: int) -> int:
+    if label not in labels:
+        raise AssemblerError(f"line {lineno}: undefined label '{label}'")
+    return labels[label]
+
+
+def _expect(tokens: list[str], n: int, opcode: Opcode, lineno: int) -> None:
+    if len(tokens) != n:
+        raise AssemblerError(
+            f"line {lineno}: {opcode.value} expects {n} operands, "
+            f"got {len(tokens)}")
+
+
+def _encode(opcode: Opcode, tokens: list[str],
+            labels: dict[str, int], lineno: int) -> Instruction:
+    reg = lambda i: _parse_reg(tokens[i], lineno)
+    imm = lambda i: _parse_imm(tokens[i], lineno)
+    lab = lambda i: _resolve(tokens[i], labels, lineno)
+
+    if opcode is Opcode.LI:
+        _expect(tokens, 2, opcode, lineno)
+        return Instruction(opcode, rd=reg(0), imm=imm(1))
+    if opcode is Opcode.MOV:
+        _expect(tokens, 2, opcode, lineno)
+        return Instruction(opcode, rd=reg(0), rs=reg(1))
+    if opcode in (Opcode.ADD, Opcode.SUB, Opcode.MUL):
+        _expect(tokens, 3, opcode, lineno)
+        return Instruction(opcode, rd=reg(0), rs=reg(1), rt=reg(2))
+    if opcode is Opcode.ADDI:
+        _expect(tokens, 3, opcode, lineno)
+        return Instruction(opcode, rd=reg(0), rs=reg(1), imm=imm(2))
+    if opcode is Opcode.LD:
+        _expect(tokens, 3, opcode, lineno)
+        return Instruction(opcode, rd=reg(0), rs=reg(1), imm=imm(2))
+    if opcode is Opcode.ST:
+        _expect(tokens, 3, opcode, lineno)
+        return Instruction(opcode, rs=reg(0), rd=reg(1), imm=imm(2))
+    if opcode is Opcode.PUSH:
+        _expect(tokens, 1, opcode, lineno)
+        return Instruction(opcode, rs=reg(0))
+    if opcode is Opcode.POP:
+        _expect(tokens, 1, opcode, lineno)
+        return Instruction(opcode, rd=reg(0))
+    if opcode is Opcode.JMP:
+        _expect(tokens, 1, opcode, lineno)
+        return Instruction(opcode, target=lab(0))
+    if opcode in (Opcode.BEQ, Opcode.BNE, Opcode.BLT):
+        _expect(tokens, 3, opcode, lineno)
+        return Instruction(opcode, rs=reg(0), rt=reg(1), target=lab(2))
+    if opcode is Opcode.CALL:
+        _expect(tokens, 1, opcode, lineno)
+        return Instruction(opcode, target=lab(0))
+    if opcode in (Opcode.RET, Opcode.NOP, Opcode.HALT, Opcode.YRET):
+        _expect(tokens, 0, opcode, lineno)
+        return Instruction(opcode)
+    if opcode is Opcode.SYS:
+        _expect(tokens, 1, opcode, lineno)
+        return Instruction(opcode, service=tokens[0].strip("'\""))
+    if opcode is Opcode.SPIN:
+        _expect(tokens, 1, opcode, lineno)
+        return Instruction(opcode, imm=imm(0))
+    if opcode is Opcode.SIGNAL:
+        _expect(tokens, 3, opcode, lineno)
+        return Instruction(opcode, rs=reg(0), target=lab(1), rt=reg(2))
+    if opcode is Opcode.YMONITOR:
+        _expect(tokens, 1, opcode, lineno)
+        return Instruction(opcode, target=lab(0))
+    raise AssemblerError(f"line {lineno}: unhandled opcode {opcode}")

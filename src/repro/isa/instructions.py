@@ -1,0 +1,88 @@
+"""The mini-ISA instruction set.
+
+A small RISC-style, 32-bit ISA used to demonstrate MISP's ISA
+extension concretely.  The base set covers Ring-3 computation (the
+subset an AMS must support, Section 2.2); the MISP extension adds:
+
+* ``SIGNAL rs, label, rt`` -- the Section 2.4 instruction: deliver the
+  shred continuation ⟨EIP=label, ESP=rt⟩ to the sequencer whose SID is
+  in ``rs``;
+* ``YMONITOR label`` -- register a YIELD-CONDITIONAL handler for
+  ingress user signals (trigger-response mapping);
+* ``YRET`` -- return from an asynchronous handler to the interrupted
+  instruction.
+
+Privileged operations do not exist in this ISA at all -- system
+services are requested with ``SYS`` which *traps*, exactly the AMS
+situation that forces proxy execution.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+#: number of general-purpose registers (r0..r7); r7 doubles as the
+#: stack pointer for PUSH/POP/CALL/RET and is aliased ``sp``
+NUM_REGS = 8
+SP = 7
+
+
+class Opcode(enum.Enum):
+    # data movement and arithmetic
+    LI = "li"          # li rd, imm
+    MOV = "mov"        # mov rd, rs
+    ADD = "add"        # add rd, rs, rt
+    SUB = "sub"        # sub rd, rs, rt
+    MUL = "mul"        # mul rd, rs, rt
+    ADDI = "addi"      # addi rd, rs, imm
+    # memory
+    LD = "ld"          # ld rd, rs, off     (rd <- mem[rs+off])
+    ST = "st"          # st rs, rd, off     (mem[rd+off] <- rs)
+    PUSH = "push"      # push rs
+    POP = "pop"        # pop rd
+    # control flow
+    JMP = "jmp"        # jmp label
+    BEQ = "beq"        # beq rs, rt, label
+    BNE = "bne"        # bne rs, rt, label
+    BLT = "blt"        # blt rs, rt, label
+    CALL = "call"      # call label
+    RET = "ret"        # ret
+    # system
+    NOP = "nop"
+    HALT = "halt"
+    SYS = "sys"        # sys "name"         (trap to the OS)
+    SPIN = "spin"      # spin imm           (burn imm cycles)
+    # MISP extension
+    SIGNAL = "signal"  # signal rs, label, rt
+    YMONITOR = "ymonitor"  # ymonitor label
+    YRET = "yret"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction."""
+
+    opcode: Opcode
+    rd: Optional[int] = None
+    rs: Optional[int] = None
+    rt: Optional[int] = None
+    imm: Optional[int] = None
+    #: resolved label target (instruction index)
+    target: Optional[int] = None
+    #: syscall name for SYS
+    service: Optional[str] = None
+
+    def __str__(self) -> str:
+        parts = [self.opcode.value]
+        for field, prefix in ((self.rd, "r"), (self.rs, "r"), (self.rt, "r")):
+            if field is not None:
+                parts.append(f"{prefix}{field}")
+        if self.imm is not None:
+            parts.append(str(self.imm))
+        if self.target is not None:
+            parts.append(f"@{self.target}")
+        if self.service is not None:
+            parts.append(repr(self.service))
+        return " ".join(parts)

@@ -1,0 +1,240 @@
+"""Mini-ISA interpreter as an :class:`InstructionStream`.
+
+:class:`AsmStream` executes one decoded instruction per fetch, split
+into the two-phase protocol the machine expects: ``next_op`` exposes
+the instruction's externally visible action (computation, a memory
+access at a computed effective address, a trap, a SIGNAL) as a machine
+op, and ``complete`` commits the architectural side effects (register
+writes, PC update, actual word movement).  Because the commit only
+happens after the machine has resolved the access, a faulting load
+re-executes after proxy service with no special casing -- precisely
+the "re-execute the faulting instruction" semantics of Section 2.5.
+
+Shred continuations are ⟨EIP, ESP⟩ exactly as in the paper: the
+SIGNAL instruction builds a *new* ``AsmStream`` over the same program
+image with PC = EIP and r7/sp = ESP.
+
+Ingress signals to a busy sequencer go through the YIELD-CONDITIONAL
+mechanism: if the stream registered a handler with ``YMONITOR``, the
+handler runs as an asynchronous function call (sender SID in r6) and
+``YRET`` resumes the interrupted instruction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import InvalidInstructionError, SimulationError
+from repro.exec.ops import (
+    Compute, MachineOp, MemAccess, SignalShred, SyscallOp,
+)
+from repro.exec.stream import InstructionStream
+from repro.isa.instructions import NUM_REGS, SP, Instruction, Opcode
+from repro.kernel.process import Process
+from repro.params import MachineParams
+
+#: register that receives the sender SID in a yield handler
+YIELD_SID_REG = 6
+
+_MASK = 0xFFFFFFFF
+
+
+def _wrap(value: int) -> int:
+    return value & _MASK
+
+
+class AsmStream(InstructionStream):
+    """One hardware thread context running mini-ISA code."""
+
+    def __init__(self, program: list[Instruction], process: Process,
+                 params: MachineParams, entry: int = 0,
+                 stack_top: Optional[int] = None, label: str = "asm") -> None:
+        self.program = program
+        self.process = process
+        self.params = params
+        self.label = label
+        self.regs = [0] * NUM_REGS
+        if stack_top is not None:
+            self.regs[SP] = stack_top
+        self.pc = entry
+        self.instructions_retired = 0
+        self._halted = False
+        self._pending: Optional[MachineOp] = None
+        self._pending_instr: Optional[Instruction] = None
+        # YIELD-CONDITIONAL state
+        self._yield_handler: Optional[int] = None
+        self._yield_pending: Optional[int] = None   # sender SID
+        self._yield_return: Optional[int] = None    # interrupted PC
+
+    # ------------------------------------------------------------------
+    # InstructionStream protocol
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self._halted
+
+    def next_op(self) -> Optional[MachineOp]:
+        if self._halted:
+            return None
+        if self._pending is not None:
+            return self._pending           # fault retry
+        self._take_yield_if_pending()
+        if not 0 <= self.pc < len(self.program):
+            raise InvalidInstructionError(
+                f"{self.label}: PC {self.pc} outside program "
+                f"(len {len(self.program)})")
+        instr = self.program[self.pc]
+        op = self._issue(instr)
+        if op is None:                      # HALT
+            self._halted = True
+            return None
+        self._pending = op
+        self._pending_instr = instr
+        return op
+
+    def complete(self, value: Any = None) -> None:
+        if self._pending is None:
+            raise SimulationError(f"{self.label}: complete() with no pending op")
+        instr = self._pending_instr
+        self._pending = None
+        self._pending_instr = None
+        self._commit(instr)
+        self.instructions_retired += 1
+
+    # ------------------------------------------------------------------
+    # YIELD-CONDITIONAL (Section 2.4)
+    # ------------------------------------------------------------------
+    def deliver_signal(self, sender_sid: int, op: SignalShred) -> bool:
+        """Ingress signal while running; True if a handler will take it."""
+        if self._yield_handler is None:
+            return False
+        self._yield_pending = sender_sid
+        return True
+
+    def _take_yield_if_pending(self) -> None:
+        if self._yield_pending is None or self._yield_handler is None:
+            return
+        if self._yield_return is not None:
+            return                          # already inside the handler
+        self._yield_return = self.pc        # save the next EIP
+        self.regs[YIELD_SID_REG] = self._yield_pending
+        self._yield_pending = None
+        self.pc = self._yield_handler       # fly-weight control transfer
+
+    # ------------------------------------------------------------------
+    # Issue: expose the instruction's action as a machine op
+    # ------------------------------------------------------------------
+    def _issue(self, instr: Instruction) -> Optional[MachineOp]:
+        base = self.params.isa_instruction_cost
+        opcode = instr.opcode
+        if opcode is Opcode.HALT:
+            return None
+        if opcode is Opcode.LD:
+            return MemAccess(_wrap(self.regs[instr.rs] + instr.imm),
+                             write=False, cycles=base + 2)
+        if opcode is Opcode.ST:
+            return MemAccess(_wrap(self.regs[instr.rd] + instr.imm),
+                             write=True, cycles=base + 2)
+        if opcode is Opcode.PUSH:
+            return MemAccess(_wrap(self.regs[SP] - 4), write=True,
+                             cycles=base + 2)
+        if opcode is Opcode.POP:
+            return MemAccess(self.regs[SP], write=False, cycles=base + 2)
+        if opcode is Opcode.CALL:
+            return MemAccess(_wrap(self.regs[SP] - 4), write=True,
+                             cycles=base + 2)
+        if opcode is Opcode.RET:
+            return MemAccess(self.regs[SP], write=False, cycles=base + 2)
+        if opcode is Opcode.SYS:
+            return SyscallOp(instr.service)
+        if opcode is Opcode.SPIN:
+            return Compute(max(1, instr.imm))
+        if opcode is Opcode.SIGNAL:
+            continuation = AsmStream(
+                self.program, self.process, self.params,
+                entry=instr.target, stack_top=self.regs[instr.rt],
+                label=f"{self.label}-sid{self.regs[instr.rs]}")
+            return SignalShred(self.regs[instr.rs], continuation,
+                               label=continuation.label)
+        if opcode is Opcode.MUL:
+            return Compute(base + 3)
+        return Compute(base)
+
+    # ------------------------------------------------------------------
+    # Commit: apply architectural effects after the op resolved
+    # ------------------------------------------------------------------
+    def _commit(self, instr: Instruction) -> None:
+        opcode = instr.opcode
+        regs = self.regs
+        next_pc = self.pc + 1
+        if opcode is Opcode.LI:
+            regs[instr.rd] = _wrap(instr.imm)
+        elif opcode is Opcode.MOV:
+            regs[instr.rd] = regs[instr.rs]
+        elif opcode is Opcode.ADD:
+            regs[instr.rd] = _wrap(regs[instr.rs] + regs[instr.rt])
+        elif opcode is Opcode.SUB:
+            regs[instr.rd] = _wrap(regs[instr.rs] - regs[instr.rt])
+        elif opcode is Opcode.MUL:
+            regs[instr.rd] = _wrap(regs[instr.rs] * regs[instr.rt])
+        elif opcode is Opcode.ADDI:
+            regs[instr.rd] = _wrap(regs[instr.rs] + instr.imm)
+        elif opcode is Opcode.LD:
+            regs[instr.rd] = self._read(_wrap(regs[instr.rs] + instr.imm))
+        elif opcode is Opcode.ST:
+            self._write(_wrap(regs[instr.rd] + instr.imm), regs[instr.rs])
+        elif opcode is Opcode.PUSH:
+            regs[SP] = _wrap(regs[SP] - 4)
+            self._write(regs[SP], regs[instr.rs])
+        elif opcode is Opcode.POP:
+            regs[instr.rd] = self._read(regs[SP])
+            regs[SP] = _wrap(regs[SP] + 4)
+        elif opcode is Opcode.JMP:
+            next_pc = instr.target
+        elif opcode is Opcode.BEQ:
+            if regs[instr.rs] == regs[instr.rt]:
+                next_pc = instr.target
+        elif opcode is Opcode.BNE:
+            if regs[instr.rs] != regs[instr.rt]:
+                next_pc = instr.target
+        elif opcode is Opcode.BLT:
+            if regs[instr.rs] < regs[instr.rt]:
+                next_pc = instr.target
+        elif opcode is Opcode.CALL:
+            regs[SP] = _wrap(regs[SP] - 4)
+            self._write(regs[SP], self.pc + 1)
+            next_pc = instr.target
+        elif opcode is Opcode.RET:
+            next_pc = self._read(regs[SP])
+            regs[SP] = _wrap(regs[SP] + 4)
+        elif opcode is Opcode.YMONITOR:
+            self._yield_handler = instr.target
+        elif opcode is Opcode.YRET:
+            if self._yield_return is None:
+                raise InvalidInstructionError(
+                    f"{self.label}: YRET outside a yield handler")
+            next_pc = self._yield_return
+            self._yield_return = None
+        elif opcode in (Opcode.NOP, Opcode.SYS, Opcode.SPIN,
+                        Opcode.SIGNAL):
+            pass
+        else:  # pragma: no cover - defensive
+            raise InvalidInstructionError(f"unhandled opcode {opcode}")
+        self.pc = next_pc
+
+    # ------------------------------------------------------------------
+    # Word access (only reached once the page is resident)
+    # ------------------------------------------------------------------
+    def _read(self, vaddr: int) -> int:
+        paddr = self.process.address_space.translate(vaddr)
+        if paddr is None:
+            raise SimulationError(
+                f"{self.label}: commit-time read of non-resident {vaddr:#x}")
+        return self.process.address_space.physical.read_word(paddr)
+
+    def _write(self, vaddr: int, value: int) -> None:
+        paddr = self.process.address_space.translate(vaddr)
+        if paddr is None:
+            raise SimulationError(
+                f"{self.label}: commit-time write of non-resident {vaddr:#x}")
+        self.process.address_space.physical.write_word(paddr, value)

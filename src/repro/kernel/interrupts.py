@@ -1,0 +1,54 @@
+"""Interrupt definitions for the model machine.
+
+Three sources exist, mirroring the Table 1 event taxonomy:
+
+* **Timer** -- periodic per-CPU timer interrupts driving the quantum
+  scheduler (the "Timer" column);
+* **Device** -- uncategorized device interrupts steered to CPU 0 (the
+  "Interrupt" column);
+* **IPI** -- inter-processor interrupts, the privileged dual of MISP's
+  user-level SIGNAL (Section 2.4).  The kernel uses IPIs for cross-CPU
+  reschedule kicks and the TLB-shootdown protocol (Section 2.6), which
+  MISP supports without OS changes.
+
+Delivery mechanics (pending flags, ring transitions, AMS serialization)
+live in the machine layer; this module defines the vocabulary.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Optional
+
+
+class InterruptKind(enum.Enum):
+    TIMER = "timer"
+    DEVICE = "device"
+    IPI_RESCHEDULE = "ipi_reschedule"
+    IPI_TLB_SHOOTDOWN = "ipi_tlb_shootdown"
+
+
+@dataclass(frozen=True)
+class Interrupt:
+    """One pending interrupt at a CPU."""
+
+    kind: InterruptKind
+    #: opaque payload (e.g. the vpn list for a TLB shootdown)
+    payload: Any = None
+
+    @property
+    def is_ipi(self) -> bool:
+        return self.kind in (InterruptKind.IPI_RESCHEDULE,
+                             InterruptKind.IPI_TLB_SHOOTDOWN)
+
+
+@dataclass(frozen=True)
+class ShootdownRequest:
+    """A TLB-shootdown broadcast: invalidate ``vpns`` for ``pid``.
+
+    ``vpns`` of ``None`` means a full flush (CR3 reload).
+    """
+
+    pid: int
+    vpns: Optional[tuple[int, ...]] = None

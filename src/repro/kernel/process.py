@@ -1,0 +1,88 @@
+"""Processes and OS threads.
+
+The model OS has the usual two-level structure: a :class:`Process` owns
+an address space, and one or more :class:`OSThread` objects are the
+kernel-schedulable entities.  On a MISP machine a thread may
+additionally be *multi-shredded*: its user-level runtime drives the
+application-managed sequencers of whichever MISP processor the thread
+is currently scheduled on (Section 2.6 of the paper).  The kernel does
+not know about individual shreds -- its only extra duty is the
+aggregate AMS state save area used on context switches (Section 2.2),
+represented here by :attr:`OSThread.ams_save_area`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional
+
+from repro.mem.addrspace import AddressSpace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.stream import InstructionStream
+
+
+class ThreadState(enum.Enum):
+    NEW = "new"
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    EXITED = "exited"
+
+
+class OSThread:
+    """One kernel-schedulable thread."""
+
+    def __init__(self, tid: int, process: "Process", name: str,
+                 stream: "InstructionStream",
+                 pinned_cpu: Optional[int] = None) -> None:
+        self.tid = tid
+        self.process = process
+        self.name = name
+        self.stream = stream
+        #: Hard CPU affinity; ``None`` lets the scheduler place freely.
+        self.pinned_cpu = pinned_cpu
+        self.state = ThreadState.NEW
+        #: CPU the thread is currently on (running or last ran on).
+        self.cpu: Optional[int] = None
+        #: True once the user-level runtime has started shreds on AMSs;
+        #: tells the context-switch path to save/restore AMS state.
+        self.is_shredded = False
+        #: Frozen AMS shred state captured at switch-out: list of
+        #: (ams-slot-index, opaque continuation) pairs.
+        self.ams_save_area: list[tuple[int, Any]] = []
+        # -- statistics ---------------------------------------------------
+        self.cpu_cycles = 0
+        self.start_time: Optional[int] = None
+        self.exit_time: Optional[int] = None
+        self.context_switches = 0
+
+    @property
+    def runnable(self) -> bool:
+        return self.state in (ThreadState.READY, ThreadState.RUNNING)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<OSThread {self.tid} '{self.name}' {self.state.value}"
+                f" cpu={self.cpu}>")
+
+
+class Process:
+    """One OS process: an address space plus threads."""
+
+    def __init__(self, pid: int, name: str, address_space: AddressSpace) -> None:
+        self.pid = pid
+        self.name = name
+        self.address_space = address_space
+        self.threads: list[OSThread] = []
+        self.exited = False
+        self.exit_time: Optional[int] = None
+
+    def live_threads(self) -> Iterator[OSThread]:
+        return (t for t in self.threads if t.state is not ThreadState.EXITED)
+
+    @property
+    def done(self) -> bool:
+        return all(t.state is ThreadState.EXITED for t in self.threads)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Process {self.pid} '{self.name}' threads={len(self.threads)}>"

@@ -1,0 +1,117 @@
+"""The kernel thread scheduler (policy only).
+
+A round-robin, per-CPU-run-queue scheduler in the style of the NT
+scheduler the paper's prototype ran under.  Placement is least-loaded
+with lowest-CPU-id tie breaking, and -- crucially for the Figure 7
+reproduction -- the scheduler is **shred-oblivious**: it treats every
+OS-visible CPU (every OMS) identically and has no idea that
+descheduling a multi-shredded thread idles that MISP processor's AMSs.
+That obliviousness is exactly the effect Section 5.4 measures.
+
+Mechanism (context-switch costs, AMS suspension) lives in the machine
+layer; this class only answers "which thread should CPU ``c`` run?".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.kernel.process import OSThread, ThreadState
+
+
+class Scheduler:
+    """Round-robin scheduler over per-CPU ready queues."""
+
+    def __init__(self, num_cpus: int) -> None:
+        if num_cpus <= 0:
+            raise ConfigurationError("scheduler needs at least one CPU")
+        self.num_cpus = num_cpus
+        self._queues: list[deque[OSThread]] = [deque() for _ in range(num_cpus)]
+        self._current: list[Optional[OSThread]] = [None] * num_cpus
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def _load(self, cpu: int) -> int:
+        """Runnable threads on a CPU (its queue plus a running thread)."""
+        return len(self._queues[cpu]) + (1 if self._current[cpu] else 0)
+
+    def place(self, thread: OSThread) -> int:
+        """Choose a CPU for a new or newly unblocked thread."""
+        if thread.pinned_cpu is not None:
+            if not 0 <= thread.pinned_cpu < self.num_cpus:
+                raise ConfigurationError(
+                    f"thread pinned to nonexistent CPU {thread.pinned_cpu}")
+            return thread.pinned_cpu
+        return min(range(self.num_cpus), key=lambda c: (self._load(c), c))
+
+    # ------------------------------------------------------------------
+    # Queue operations
+    # ------------------------------------------------------------------
+    def enqueue(self, thread: OSThread, cpu: Optional[int] = None) -> int:
+        """Make a thread ready on ``cpu`` (or a freshly chosen one)."""
+        if cpu is None:
+            cpu = self.place(thread)
+        thread.state = ThreadState.READY
+        thread.cpu = cpu
+        self._queues[cpu].append(thread)
+        return cpu
+
+    def current(self, cpu: int) -> Optional[OSThread]:
+        return self._current[cpu]
+
+    def has_ready(self, cpu: int) -> bool:
+        return bool(self._queues[cpu])
+
+    def pick_next(self, cpu: int) -> Optional[OSThread]:
+        """Dispatch the next ready thread on ``cpu`` (or ``None``).
+
+        The caller is responsible for having dealt with the previously
+        running thread (requeue / block / exit) first.
+        """
+        if self._current[cpu] is not None:
+            raise ConfigurationError(
+                f"CPU {cpu} still has a current thread; preempt it first")
+        if not self._queues[cpu]:
+            return None
+        thread = self._queues[cpu].popleft()
+        thread.state = ThreadState.RUNNING
+        thread.cpu = cpu
+        self._current[cpu] = thread
+        return thread
+
+    def preempt(self, cpu: int, requeue: bool = True) -> Optional[OSThread]:
+        """Take the running thread off ``cpu``; requeue it if asked."""
+        thread = self._current[cpu]
+        self._current[cpu] = None
+        if thread is not None and requeue:
+            thread.state = ThreadState.READY
+            self._queues[cpu].append(thread)
+        return thread
+
+    def remove(self, thread: OSThread) -> None:
+        """Forget a thread entirely (exit or block)."""
+        for cpu in range(self.num_cpus):
+            if self._current[cpu] is thread:
+                self._current[cpu] = None
+                return
+            try:
+                self._queues[cpu].remove(thread)
+                return
+            except ValueError:
+                continue
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def should_preempt(self, cpu: int) -> bool:
+        """Quantum expiry policy: preempt iff someone else is waiting."""
+        return self._current[cpu] is not None and bool(self._queues[cpu])
+
+    def runnable_count(self) -> int:
+        return sum(self._load(c) for c in range(self.num_cpus))
+
+    def loads(self) -> list[int]:
+        return [self._load(c) for c in range(self.num_cpus)]

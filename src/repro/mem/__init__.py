@@ -1,0 +1,11 @@
+"""Memory substrate: physical frames, page tables, TLBs, address spaces."""
+
+from repro.mem.addrspace import AddressSpace, Region
+from repro.mem.pagetable import PTE, PageTable, page_offset, vpn_of
+from repro.mem.physical import PhysicalMemory
+from repro.mem.tlb import TLB
+
+__all__ = [
+    "AddressSpace", "Region", "PTE", "PageTable", "page_offset",
+    "vpn_of", "PhysicalMemory", "TLB",
+]

@@ -1,0 +1,145 @@
+"""Virtual address spaces with demand paging.
+
+An :class:`AddressSpace` is the per-process virtual memory abstraction:
+a page table, a simple region allocator, and demand-paging state.  The
+kernel's page-fault handler calls :meth:`AddressSpace.handle_fault` to
+make a page resident; whether that fault was raised by an OMS or
+relayed from an AMS via proxy execution is the machine layer's concern.
+
+Pages are demand-zero: a region reserves virtual pages but allocates no
+frames, so the first touch of each page takes exactly one *compulsory*
+page fault.  This mirrors the behaviour the paper observes in Section
+5.3 ("compulsory page faults cause the majority of proxy execution
+events ... once the working set is resident, the AMSs make no further
+proxy requests").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import MemoryError_
+from repro.mem.pagetable import PTE, PageTable, vpn_of
+from repro.mem.physical import PhysicalMemory
+from repro.params import PAGE_SIZE, VADDR_BITS
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous range of virtual pages reserved in an address space."""
+
+    name: str
+    start_vpn: int
+    num_pages: int
+
+    @property
+    def base_vaddr(self) -> int:
+        return self.start_vpn * PAGE_SIZE
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_pages * PAGE_SIZE
+
+    def vpn(self, page_index: int) -> int:
+        """Virtual page number of the page_index-th page of the region."""
+        if not 0 <= page_index < self.num_pages:
+            raise MemoryError_(
+                f"page {page_index} outside region '{self.name}' "
+                f"({self.num_pages} pages)")
+        return self.start_vpn + page_index
+
+    def vaddr(self, byte_offset: int) -> int:
+        """Virtual address of a byte offset into the region."""
+        if not 0 <= byte_offset < self.size_bytes:
+            raise MemoryError_(
+                f"offset {byte_offset} outside region '{self.name}'")
+        return self.base_vaddr + byte_offset
+
+
+class AddressSpace:
+    """One process's virtual address space."""
+
+    #: First vpn handed out by the region allocator (skip page 0 so null
+    #: dereferences are always faults that no region can satisfy).
+    _FIRST_VPN = 16
+
+    def __init__(self, physical: PhysicalMemory, name: str = "") -> None:
+        self.name = name
+        self.physical = physical
+        self.page_table = PageTable()
+        self._next_vpn = self._FIRST_VPN
+        self._regions: dict[str, Region] = {}
+        #: Count of demand faults satisfied (compulsory faults).
+        self.faults_serviced = 0
+
+    # ------------------------------------------------------------------
+    # Region management
+    # ------------------------------------------------------------------
+    def reserve(self, name: str, num_pages: int) -> Region:
+        """Reserve a fresh demand-zero region of ``num_pages`` pages."""
+        if num_pages <= 0:
+            raise MemoryError_("a region needs at least one page")
+        if name in self._regions:
+            raise MemoryError_(f"region '{name}' already exists")
+        if self._next_vpn + num_pages > (1 << VADDR_BITS) // PAGE_SIZE:
+            raise MemoryError_("virtual address space exhausted")
+        region = Region(name, self._next_vpn, num_pages)
+        self._next_vpn += num_pages
+        self._regions[name] = region
+        return region
+
+    def region(self, name: str) -> Region:
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise MemoryError_(f"no region named '{name}'") from None
+
+    def regions(self) -> list[Region]:
+        return list(self._regions.values())
+
+    # ------------------------------------------------------------------
+    # Translation and demand paging
+    # ------------------------------------------------------------------
+    def translate(self, vaddr: int) -> Optional[int]:
+        """Translate to a physical address, or ``None`` on a fault."""
+        pte = self.page_table.lookup(vpn_of(vaddr))
+        if pte is None:
+            return None
+        return pte.frame * PAGE_SIZE + vaddr % PAGE_SIZE
+
+    def is_resident(self, vpn: int) -> bool:
+        return vpn in self.page_table
+
+    def _owning_region(self, vpn: int) -> Optional[Region]:
+        for region in self._regions.values():
+            if region.start_vpn <= vpn < region.start_vpn + region.num_pages:
+                return region
+        return None
+
+    def handle_fault(self, vpn: int) -> PTE:
+        """Service a demand fault: allocate a zero frame and map it.
+
+        Raises :class:`MemoryError_` if the page belongs to no region
+        (a wild access) or is already resident (a spurious fault --
+        which can legitimately happen when two sequencers fault on the
+        same page concurrently; callers should check
+        :meth:`is_resident` under the kernel's mutual exclusion first).
+        """
+        if self.is_resident(vpn):
+            raise MemoryError_(f"spurious fault: vpn {vpn:#x} already resident")
+        if self._owning_region(vpn) is None:
+            raise MemoryError_(f"wild access: vpn {vpn:#x} is in no region")
+        frame = self.physical.alloc_frame()
+        pte = self.page_table.map(vpn, frame)
+        self.faults_serviced += 1
+        return pte
+
+    def resident_pages(self) -> int:
+        return len(self.page_table)
+
+    def release(self) -> None:
+        """Free every frame this address space holds (process exit)."""
+        for vpn, pte in list(self.page_table.entries()):
+            self.physical.free_frame(pte.frame)
+            self.page_table.unmap(vpn)

@@ -1,0 +1,89 @@
+"""Per-address-space page tables.
+
+The paper's sharing model (Section 2.3) hinges on one fact: every
+sequencer in a MISP processor translates through the *same* page-table
+base (the Ring-0 control register CR3), so keeping CR3 synchronized
+across sequencers gives all shreds one virtual address space.  The
+:class:`PageTable` here is that shared structure; the per-sequencer
+caches of it live in :mod:`repro.mem.tlb`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import MemoryError_
+from repro.params import PAGE_SIZE, VADDR_BITS
+
+
+def vpn_of(vaddr: int) -> int:
+    """Virtual page number containing a virtual address."""
+    if not 0 <= vaddr < (1 << VADDR_BITS):
+        raise MemoryError_(f"virtual address {vaddr:#x} out of range")
+    return vaddr // PAGE_SIZE
+
+
+def page_offset(vaddr: int) -> int:
+    """Byte offset of a virtual address within its page."""
+    return vaddr % PAGE_SIZE
+
+
+@dataclass
+class PTE:
+    """One page-table entry."""
+
+    frame: int
+    writable: bool = True
+    accessed: bool = False
+    dirty: bool = False
+
+
+class PageTable:
+    """Mapping from virtual page numbers to :class:`PTE`.
+
+    Identified by a small integer ``base`` standing in for the physical
+    address that would be loaded into CR3.
+    """
+
+    _next_base = 1
+
+    def __init__(self) -> None:
+        self.base = PageTable._next_base
+        PageTable._next_base += 1
+        self._entries: dict[int, PTE] = {}
+
+    def lookup(self, vpn: int) -> Optional[PTE]:
+        """Return the PTE for a page, or ``None`` if not present."""
+        return self._entries.get(vpn)
+
+    def map(self, vpn: int, frame: int, writable: bool = True) -> PTE:
+        """Install a translation; remapping an existing page is an error."""
+        if vpn in self._entries:
+            raise MemoryError_(f"vpn {vpn:#x} is already mapped")
+        pte = PTE(frame=frame, writable=writable)
+        self._entries[vpn] = pte
+        return pte
+
+    def unmap(self, vpn: int) -> PTE:
+        """Remove a translation, returning the old PTE."""
+        try:
+            return self._entries.pop(vpn)
+        except KeyError:
+            raise MemoryError_(f"vpn {vpn:#x} is not mapped") from None
+
+    def protect(self, vpn: int, writable: bool) -> None:
+        """Change the writability of an existing mapping."""
+        pte = self.lookup(vpn)
+        if pte is None:
+            raise MemoryError_(f"vpn {vpn:#x} is not mapped")
+        pte.writable = writable
+
+    def entries(self) -> Iterator[tuple[int, PTE]]:
+        yield from self._entries.items()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self._entries

@@ -1,0 +1,68 @@
+"""ShredLib's runtime event log (Section 4.2).
+
+"ShredLib also provides a detailed event logging system that can
+profile relevant scheduling activities, such as inter-shred
+dependencies and contention on common synchronization objects.  This
+event logging system is complementary to that provided by the
+prototype MISP processor's custom firmware."
+
+The firmware-side log is :class:`repro.sim.trace.TraceLog`; this class
+covers the runtime side: shred lifecycle, queue activity, and sync
+contention.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class ShredEvent(enum.Enum):
+    CREATED = "created"
+    SCHEDULED = "scheduled"
+    BLOCKED = "blocked"
+    WOKEN = "woken"
+    YIELDED = "yielded"
+    FINISHED = "finished"
+    QUEUE_PUSH = "queue_push"
+    QUEUE_POP = "queue_pop"
+    QUEUE_EMPTY_POLL = "queue_empty_poll"
+
+
+@dataclass
+class ShredLog:
+    """Counters plus optional per-object contention attribution."""
+
+    _events: Counter = field(default_factory=Counter)
+    #: contended acquires per sync-object name
+    _contention: Counter = field(default_factory=Counter)
+    #: maximum work-queue depth observed
+    max_queue_depth: int = 0
+
+    def note(self, event: ShredEvent, n: int = 1) -> None:
+        self._events[event] += n
+
+    def note_queue_depth(self, depth: int) -> None:
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
+
+    def note_contention(self, object_name: str) -> None:
+        self._contention[object_name] += 1
+        self._events[ShredEvent.BLOCKED] += 0  # blocked is counted separately
+
+    def count(self, event: ShredEvent) -> int:
+        return self._events[event]
+
+    def contention(self, object_name: Optional[str] = None) -> int:
+        if object_name is None:
+            return sum(self._contention.values())
+        return self._contention[object_name]
+
+    def contention_by_object(self) -> dict[str, int]:
+        return dict(self._contention)
+
+    def summary(self) -> dict[str, int]:
+        return {e.value: c for e, c in sorted(self._events.items(),
+                                              key=lambda kv: kv[0].value)}

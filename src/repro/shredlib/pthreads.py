@@ -1,0 +1,152 @@
+"""The Pthreads-to-shreds translation layer (Section 4.2, Table 2).
+
+"To facilitate migration of legacy multithreaded applications to a
+MISP processor, ShredLib provides legacy API translations for the
+Pthreads and Win32 Threads APIs. ... With most applications, we simply
+changed the application's source code to include a single header file
+that contains ShredLib's thread-to-shred API mapping, and then
+recompiled."
+
+:class:`PthreadsAPI` is that header file's analogue: a POSIX-shaped
+facade whose every call maps 1:1 onto ShredLib.  A legacy application
+written against it runs unmodified as shreds (on MISP) or via gang
+workers on OS threads (on the SMP baseline) -- the property the
+Table 2 porting study measures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional
+
+from repro.errors import ShredLibError
+from repro.exec.ops import Op
+from repro.shredlib.api import ShredAPI
+from repro.shredlib.shred import Shred
+from repro.shredlib.sync import ShredCondVar, ShredMutex, ShredSemaphore
+
+
+class PthreadT:
+    """Opaque thread handle (``pthread_t``)."""
+
+    def __init__(self, shred: Shred) -> None:
+        self._shred = shred
+
+    @property
+    def finished(self) -> bool:
+        return self._shred.done
+
+
+class PthreadMutexT:
+    """``pthread_mutex_t`` wrapping a :class:`ShredMutex`."""
+
+    def __init__(self, mutex: ShredMutex) -> None:
+        self._mutex = mutex
+
+
+class PthreadCondT:
+    """``pthread_cond_t`` wrapping a :class:`ShredCondVar`."""
+
+    def __init__(self, cond: ShredCondVar) -> None:
+        self._cond = cond
+
+
+class SemT:
+    """``sem_t`` wrapping a :class:`ShredSemaphore`."""
+
+    def __init__(self, sem: ShredSemaphore) -> None:
+        self._sem = sem
+
+
+class PthreadsAPI:
+    """POSIX threads calls, translated to shreds.
+
+    Every method mirrors its POSIX namesake's shape; start routines
+    are generator functions ``fn(*args)`` and all calls are used with
+    ``yield from``.
+    """
+
+    def __init__(self, api: ShredAPI) -> None:
+        self._api = api
+        self._mutex_counter = 0
+        self._cond_counter = 0
+        self._sem_counter = 0
+        #: how many legacy API calls were translated (Table 2 metric)
+        self.calls_translated = 0
+
+    # ------------------------------------------------------------------
+    # Threads
+    # ------------------------------------------------------------------
+    def pthread_create(self, start_routine: Callable[..., Iterator[Op]],
+                       *args: Any, name: str = "") -> Iterator[Op]:
+        """Create a thread; returns a :class:`PthreadT` handle."""
+        self.calls_translated += 1
+        shred = yield from self._api.create(start_routine(*args),
+                                            name=name or "pthread")
+        return PthreadT(shred)
+
+    def pthread_join(self, thread: PthreadT) -> Iterator[Op]:
+        """Wait for a thread; returns its exit value."""
+        self.calls_translated += 1
+        result = yield from self._api.join(thread._shred)
+        return result
+
+    def pthread_yield(self) -> Iterator[Op]:
+        self.calls_translated += 1
+        yield from self._api.yield_()
+
+    def pthread_exit(self) -> Iterator[Op]:
+        self.calls_translated += 1
+        yield from self._api.exit()
+
+    # ------------------------------------------------------------------
+    # Mutexes
+    # ------------------------------------------------------------------
+    def pthread_mutex_init(self) -> PthreadMutexT:
+        self.calls_translated += 1
+        self._mutex_counter += 1
+        return PthreadMutexT(self._api.mutex(f"pmutex-{self._mutex_counter}"))
+
+    def pthread_mutex_lock(self, mutex: PthreadMutexT) -> Iterator[Op]:
+        self.calls_translated += 1
+        yield from mutex._mutex.acquire()
+
+    def pthread_mutex_unlock(self, mutex: PthreadMutexT) -> Iterator[Op]:
+        self.calls_translated += 1
+        yield from mutex._mutex.release()
+
+    # ------------------------------------------------------------------
+    # Condition variables
+    # ------------------------------------------------------------------
+    def pthread_cond_init(self) -> PthreadCondT:
+        self.calls_translated += 1
+        self._cond_counter += 1
+        return PthreadCondT(self._api.condvar(f"pcond-{self._cond_counter}"))
+
+    def pthread_cond_wait(self, cond: PthreadCondT,
+                          mutex: PthreadMutexT) -> Iterator[Op]:
+        self.calls_translated += 1
+        yield from cond._cond.wait(mutex._mutex)
+
+    def pthread_cond_signal(self, cond: PthreadCondT) -> Iterator[Op]:
+        self.calls_translated += 1
+        yield from cond._cond.notify_one()
+
+    def pthread_cond_broadcast(self, cond: PthreadCondT) -> Iterator[Op]:
+        self.calls_translated += 1
+        yield from cond._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Semaphores
+    # ------------------------------------------------------------------
+    def sem_init(self, value: int = 0) -> SemT:
+        self.calls_translated += 1
+        self._sem_counter += 1
+        return SemT(self._api.semaphore(value, f"psem-{self._sem_counter}"))
+
+    def sem_wait(self, sem: SemT) -> Iterator[Op]:
+        self.calls_translated += 1
+        yield from sem._sem.wait()
+
+    def sem_post(self, sem: SemT) -> Iterator[Op]:
+        self.calls_translated += 1
+        yield from sem._sem.post()

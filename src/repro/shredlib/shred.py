@@ -1,0 +1,56 @@
+"""Shreds: MISP-enabled user-level threads (Section 3).
+
+A shred is "a stream of instructions that can execute concurrently
+with other instruction streams" inside one OS thread -- like a Windows
+fiber, except that a thread's shreds really do run in parallel on
+multiple sequencers ("concurrently executing fibers").
+
+In direct-execution mode a shred's ⟨EIP, ESP⟩ continuation is a live
+Python generator; parking and resuming a shred is retaining and
+re-entering that generator.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Iterator, Optional
+
+
+class ShredState(enum.Enum):
+    READY = "ready"        # in the work queue
+    RUNNING = "running"    # being pumped by a gang scheduler
+    BLOCKED = "blocked"    # parked on a sync object's wait list
+    DONE = "done"
+
+
+class Shred:
+    """One user-level thread of the application."""
+
+    def __init__(self, shred_id: int, gen: Iterator, name: str = "") -> None:
+        self.shred_id = shred_id
+        self.gen = gen
+        self.name = name or f"shred-{shred_id}"
+        self.state = ShredState.READY
+        #: shreds blocked in ``join`` on this shred
+        self.joiners: list["Shred"] = []
+        #: thread-local storage (Section 4.2: ShredLib supports TLS)
+        self.tls: dict[Any, Any] = {}
+        #: restrict this shred to one gang-scheduler worker id (the
+        #: main shred is pinned to worker 0 -- the OMS / main thread --
+        #: mirroring how the paper's main program *is* the OS thread)
+        self.affinity: Optional[int] = None
+        #: return value surfaced to joiners (StopIteration value)
+        self.result: Any = None
+        # -- statistics ----------------------------------------------------
+        self.times_scheduled = 0
+        self.times_blocked = 0
+        self.times_yielded = 0
+        #: seq_id of the sequencer that last ran this shred
+        self.last_worker: Optional[int] = None
+
+    @property
+    def done(self) -> bool:
+        return self.state is ShredState.DONE
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Shred {self.shred_id} '{self.name}' {self.state.value}>"

@@ -1,0 +1,285 @@
+"""ShredLib synchronization primitives (Section 4.2).
+
+"By default, ShredLib implements a POSIX-compliant suite of shred
+control and shred synchronization primitives, including support for
+critical sections, mutexes, condition variables, semaphores, and
+events."
+
+Every primitive is implemented over the shared work queue using the
+voluntary-yield semantics of Section 3: a shred that must wait parks
+itself (a :class:`~repro.exec.ops.Block` sentinel appends it to the
+object's wait list) and the releasing shred re-enqueues it.  No OS
+involvement, no ring transitions -- that is the point of user-level
+threading.
+
+Atomicity: everything a shred does between two machine ops executes
+atomically in simulated time (see :mod:`repro.shredlib.runtime`), so
+the check-then-block sequences below are race-free exactly when the
+check and the ``yield Block`` share one such segment.  Each primitive
+charges an :class:`~repro.exec.ops.AtomicOp` first, modelling the
+lock-prefixed instruction that makes this true on real hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import ShredLibError
+from repro.exec.ops import AtomicOp, Block, Op
+from repro.shredlib.runtime import ShredRuntime
+from repro.shredlib.shred import Shred
+
+
+class ShredMutex:
+    """A mutual-exclusion lock with FIFO wakeup (Mesa semantics)."""
+
+    def __init__(self, rt: ShredRuntime, name: str = "mutex") -> None:
+        self._rt = rt
+        self.name = name
+        self._locked = False
+        self._waiters: list[Shred] = []
+        self.acquisitions = 0
+        self.contended_acquisitions = 0
+
+    def acquire(self) -> Iterator[Op]:
+        yield AtomicOp()
+        while self._locked:
+            self.contended_acquisitions += 1
+            yield Block(self._waiters, reason=self.name)
+            yield AtomicOp()  # retry the RMW after wakeup
+        self._locked = True
+        self.acquisitions += 1
+
+    def release(self) -> Iterator[Op]:
+        yield AtomicOp()
+        if not self._locked:
+            raise ShredLibError(f"release of unlocked mutex '{self.name}'")
+        self._locked = False
+        if self._waiters:
+            self._rt.make_ready(self._waiters.pop(0))
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+
+class CriticalSection:
+    """Win32-style critical section: a mutex with a spin phase.
+
+    Models EnterCriticalSection's spin-then-block behaviour: a few
+    atomic retries before parking.
+    """
+
+    def __init__(self, rt: ShredRuntime, name: str = "critsec",
+                 spin_count: int = 4) -> None:
+        self._mutex = ShredMutex(rt, name)
+        self.spin_count = spin_count
+
+    def enter(self) -> Iterator[Op]:
+        for _ in range(self.spin_count):
+            yield AtomicOp()
+            if not self._mutex._locked:
+                self._mutex._locked = True
+                self._mutex.acquisitions += 1
+                return
+        yield from self._mutex.acquire()
+
+    def leave(self) -> Iterator[Op]:
+        yield from self._mutex.release()
+
+
+class ShredCondVar:
+    """A condition variable (used with an external :class:`ShredMutex`).
+
+    Wait releases the mutex and parks atomically with respect to
+    notifier segments, via a generation count, so no wakeup is lost;
+    callers should still use the standard Mesa ``while pred: wait()``
+    idiom.
+    """
+
+    def __init__(self, rt: ShredRuntime, name: str = "cond") -> None:
+        self._rt = rt
+        self.name = name
+        self._waiters: list[Shred] = []
+        self._generation = 0
+
+    def wait(self, mutex: ShredMutex) -> Iterator[Op]:
+        if not mutex.locked:
+            raise ShredLibError(
+                f"cond '{self.name}': wait() without holding the mutex")
+        my_generation = self._generation
+        yield from mutex.release()
+        # this check and the Block below share one atomic segment
+        if self._generation == my_generation:
+            yield Block(self._waiters, reason=self.name)
+        yield from mutex.acquire()
+
+    def notify_one(self) -> Iterator[Op]:
+        yield AtomicOp()
+        self._generation += 1
+        if self._waiters:
+            self._rt.make_ready(self._waiters.pop(0))
+
+    def notify_all(self) -> Iterator[Op]:
+        yield AtomicOp()
+        self._generation += 1
+        waiters, self._waiters = self._waiters, []
+        for shred in waiters:
+            self._rt.make_ready(shred)
+
+
+class ShredSemaphore:
+    """A counting semaphore."""
+
+    def __init__(self, rt: ShredRuntime, initial: int = 0,
+                 name: str = "sem") -> None:
+        if initial < 0:
+            raise ShredLibError("semaphore count must be non-negative")
+        self._rt = rt
+        self.name = name
+        self._count = initial
+        self._waiters: list[Shred] = []
+
+    def wait(self) -> Iterator[Op]:
+        """P: decrement, parking while the count is zero."""
+        yield AtomicOp()
+        while self._count == 0:
+            yield Block(self._waiters, reason=self.name)
+            yield AtomicOp()
+        self._count -= 1
+
+    def post(self, n: int = 1) -> Iterator[Op]:
+        """V: increment and wake up to ``n`` waiters."""
+        if n <= 0:
+            raise ShredLibError("post count must be positive")
+        yield AtomicOp()
+        self._count += n
+        for _ in range(min(n, len(self._waiters))):
+            self._rt.make_ready(self._waiters.pop(0))
+
+    @property
+    def value(self) -> int:
+        return self._count
+
+
+class ShredEventObject:
+    """A Win32-style event (manual- or auto-reset)."""
+
+    def __init__(self, rt: ShredRuntime, manual_reset: bool = True,
+                 name: str = "event") -> None:
+        self._rt = rt
+        self.name = name
+        self.manual_reset = manual_reset
+        self._signaled = False
+        self._waiters: list[Shred] = []
+
+    def wait(self) -> Iterator[Op]:
+        yield AtomicOp()
+        if not self._signaled:
+            yield Block(self._waiters, reason=self.name)
+        elif not self.manual_reset:
+            self._signaled = False
+
+    def set(self) -> Iterator[Op]:
+        yield AtomicOp()
+        if self.manual_reset:
+            self._signaled = True
+            waiters, self._waiters = self._waiters, []
+            for shred in waiters:
+                self._rt.make_ready(shred)
+        else:
+            if self._waiters:
+                self._rt.make_ready(self._waiters.pop(0))
+            else:
+                self._signaled = True
+
+    def reset(self) -> Iterator[Op]:
+        yield AtomicOp()
+        self._signaled = False
+
+    @property
+    def signaled(self) -> bool:
+        return self._signaled
+
+
+class ShredBarrier:
+    """A cyclic barrier for ``parties`` shreds."""
+
+    def __init__(self, rt: ShredRuntime, parties: int,
+                 name: str = "barrier") -> None:
+        if parties <= 0:
+            raise ShredLibError("barrier needs at least one party")
+        self._rt = rt
+        self.name = name
+        self.parties = parties
+        self._arrived = 0
+        self._waiters: list[Shred] = []
+        self.cycles_completed = 0
+
+    def wait(self) -> Iterator[Op]:
+        """Park until ``parties`` shreds arrive; the last one releases.
+
+        Returns True (via StopIteration value) to exactly one party per
+        cycle -- the "serial shred", mirroring pthread_barrier's
+        PTHREAD_BARRIER_SERIAL_THREAD.
+        """
+        yield AtomicOp()
+        self._arrived += 1
+        if self._arrived == self.parties:
+            self._arrived = 0
+            self.cycles_completed += 1
+            waiters, self._waiters = self._waiters, []
+            for shred in waiters:
+                self._rt.make_ready(shred)
+            return True
+        yield Block(self._waiters, reason=self.name)
+        return False
+
+
+class ShredRWLock:
+    """A writer-preferring readers/writer lock."""
+
+    def __init__(self, rt: ShredRuntime, name: str = "rwlock") -> None:
+        self._rt = rt
+        self.name = name
+        self._readers = 0
+        self._writer = False
+        self._waiting_writers = 0
+        self._read_waiters: list[Shred] = []
+        self._write_waiters: list[Shred] = []
+
+    def acquire_read(self) -> Iterator[Op]:
+        yield AtomicOp()
+        while self._writer or self._waiting_writers:
+            yield Block(self._read_waiters, reason=f"{self.name}.r")
+            yield AtomicOp()
+        self._readers += 1
+
+    def release_read(self) -> Iterator[Op]:
+        yield AtomicOp()
+        if self._readers <= 0:
+            raise ShredLibError(f"rwlock '{self.name}': read release underflow")
+        self._readers -= 1
+        if self._readers == 0 and self._write_waiters:
+            self._rt.make_ready(self._write_waiters.pop(0))
+
+    def acquire_write(self) -> Iterator[Op]:
+        yield AtomicOp()
+        while self._writer or self._readers:
+            self._waiting_writers += 1
+            yield Block(self._write_waiters, reason=f"{self.name}.w")
+            self._waiting_writers -= 1
+            yield AtomicOp()
+        self._writer = True
+
+    def release_write(self) -> Iterator[Op]:
+        yield AtomicOp()
+        if not self._writer:
+            raise ShredLibError(f"rwlock '{self.name}': write release underflow")
+        self._writer = False
+        if self._write_waiters:
+            self._rt.make_ready(self._write_waiters.pop(0))
+        else:
+            waiters, self._read_waiters = self._read_waiters, []
+            for shred in waiters:
+                self._rt.make_ready(shred)

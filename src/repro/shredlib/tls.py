@@ -1,0 +1,52 @@
+"""Thread-local storage for shreds.
+
+Section 4.2: "ShredLib also seamlessly supports both Thread Local
+Storage and Structured Exception Handling ... for shreds, without
+requiring recompilation or changes to the compiler."
+
+In direct-execution mode TLS is a per-shred dictionary keyed by
+:class:`TlsKey` objects (the analogue of ``TlsAlloc`` indices /
+``__declspec(thread)`` slots).  Bodies that use TLS are created with
+:meth:`~repro.shredlib.api.ShredAPI.create_fn` so they hold their own
+:class:`~repro.shredlib.shred.Shred` handle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import ShredLibError
+from repro.shredlib.shred import Shred
+
+
+class TlsKey:
+    """One allocated TLS slot (cf. Win32 ``TlsAlloc``)."""
+
+    _next_index = 0
+
+    def __init__(self, name: str = "", default: Any = None) -> None:
+        self.index = TlsKey._next_index
+        TlsKey._next_index += 1
+        self.name = name or f"tls-{self.index}"
+        self.default = default
+        self._freed = False
+
+    def get(self, shred: Shred) -> Any:
+        self._check()
+        return shred.tls.get(self.index, self.default)
+
+    def set(self, shred: Shred, value: Any) -> None:
+        self._check()
+        shred.tls[self.index] = value
+
+    def clear(self, shred: Shred) -> None:
+        self._check()
+        shred.tls.pop(self.index, None)
+
+    def free(self) -> None:
+        """Release the slot (cf. ``TlsFree``); further use is an error."""
+        self._freed = True
+
+    def _check(self) -> None:
+        if self._freed:
+            raise ShredLibError(f"use of freed TLS key '{self.name}'")

@@ -1,0 +1,137 @@
+"""The Win32-Threads-to-shreds translation layer (Section 4.2).
+
+The second legacy API translation ShredLib provides.  The paper's
+prototype ran on Windows Server 2003, so most of the Table 2 ports
+(the Intel threading tools, the media encoder, JRockit) went through
+this mapping.  Handles deliberately mimic the Win32 shapes:
+``CreateThread`` returns a waitable HANDLE, events come in manual- and
+auto-reset flavours, and critical sections spin before blocking.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional, Sequence, Union
+
+from repro.errors import ShredLibError
+from repro.exec.ops import Op
+from repro.shredlib.api import ShredAPI
+from repro.shredlib.shred import Shred
+from repro.shredlib.sync import (
+    CriticalSection, ShredEventObject, ShredMutex, ShredSemaphore,
+)
+
+#: Win32 wait return codes
+WAIT_OBJECT_0 = 0
+INFINITE = -1
+
+
+class Handle:
+    """A waitable Win32 HANDLE."""
+
+    def __init__(self, kind: str, target: Any) -> None:
+        self.kind = kind
+        self._target = target
+        self.closed = False
+
+    def _check(self) -> None:
+        if self.closed:
+            raise ShredLibError(f"use of closed {self.kind} handle")
+
+
+class Win32API:
+    """Win32 threading calls, translated to shreds."""
+
+    def __init__(self, api: ShredAPI) -> None:
+        self._api = api
+        self.calls_translated = 0
+
+    # ------------------------------------------------------------------
+    # Threads
+    # ------------------------------------------------------------------
+    def CreateThread(self, start_routine: Callable[..., Iterator[Op]],
+                     *args: Any, name: str = "") -> Iterator[Op]:
+        self.calls_translated += 1
+        shred = yield from self._api.create(start_routine(*args),
+                                            name=name or "win32-thread")
+        return Handle("thread", shred)
+
+    def WaitForSingleObject(self, handle: Handle,
+                            timeout: int = INFINITE) -> Iterator[Op]:
+        """Wait on a thread or event handle (timeouts unsupported)."""
+        self.calls_translated += 1
+        handle._check()
+        if timeout != INFINITE:
+            raise ShredLibError("finite timeouts are not modelled")
+        if handle.kind == "thread":
+            yield from self._api.join(handle._target)
+        elif handle.kind == "event":
+            yield from handle._target.wait()
+        elif handle.kind == "semaphore":
+            yield from handle._target.wait()
+        else:
+            raise ShredLibError(f"cannot wait on a {handle.kind} handle")
+        return WAIT_OBJECT_0
+
+    def WaitForMultipleObjects(self, handles: Sequence[Handle],
+                               wait_all: bool = True) -> Iterator[Op]:
+        self.calls_translated += 1
+        if not wait_all:
+            raise ShredLibError("wait-any semantics are not modelled")
+        for handle in handles:
+            yield from self.WaitForSingleObject(handle)
+        return WAIT_OBJECT_0
+
+    def CloseHandle(self, handle: Handle) -> None:
+        self.calls_translated += 1
+        handle.closed = True
+
+    def SwitchToThread(self) -> Iterator[Op]:
+        self.calls_translated += 1
+        yield from self._api.yield_()
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+    def CreateEvent(self, manual_reset: bool = True,
+                    initial_state: bool = False,
+                    name: str = "event") -> Handle:
+        self.calls_translated += 1
+        event = self._api.event(manual_reset, name)
+        if initial_state:
+            event._signaled = True
+        return Handle("event", event)
+
+    def SetEvent(self, handle: Handle) -> Iterator[Op]:
+        self.calls_translated += 1
+        handle._check()
+        yield from handle._target.set()
+
+    def ResetEvent(self, handle: Handle) -> Iterator[Op]:
+        self.calls_translated += 1
+        handle._check()
+        yield from handle._target.reset()
+
+    # ------------------------------------------------------------------
+    # Critical sections and semaphores
+    # ------------------------------------------------------------------
+    def InitializeCriticalSection(self, name: str = "critsec",
+                                  spin_count: int = 4) -> CriticalSection:
+        self.calls_translated += 1
+        return self._api.critical_section(name, spin_count)
+
+    def EnterCriticalSection(self, cs: CriticalSection) -> Iterator[Op]:
+        self.calls_translated += 1
+        yield from cs.enter()
+
+    def LeaveCriticalSection(self, cs: CriticalSection) -> Iterator[Op]:
+        self.calls_translated += 1
+        yield from cs.leave()
+
+    def CreateSemaphore(self, initial: int, name: str = "sem") -> Handle:
+        self.calls_translated += 1
+        return Handle("semaphore", self._api.semaphore(initial, name))
+
+    def ReleaseSemaphore(self, handle: Handle, count: int = 1) -> Iterator[Op]:
+        self.calls_translated += 1
+        handle._check()
+        yield from handle._target.post(count)

@@ -1,0 +1,6 @@
+"""Discrete-event simulation substrate (engine, clock, tracing)."""
+
+from repro.sim.engine import Engine, Event
+from repro.sim.trace import EventKind, TraceLog, TraceRecord
+
+__all__ = ["Engine", "Event", "EventKind", "TraceLog", "TraceRecord"]

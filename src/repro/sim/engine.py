@@ -1,0 +1,140 @@
+"""Discrete-event simulation engine.
+
+The machine models in :mod:`repro.core` and :mod:`repro.smp` are built
+on this engine.  It is a classic calendar queue: callbacks are
+scheduled at absolute cycle times and executed in time order, with a
+monotonically increasing sequence number breaking ties so execution is
+fully deterministic.
+
+The engine knows nothing about sequencers, kernels, or memory -- those
+layers schedule events against it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`Engine.schedule` and may be
+    cancelled with :meth:`Engine.cancel`.  A cancelled event stays in
+    the heap but is skipped when popped (lazy deletion).
+    """
+
+    __slots__ = ("time", "seqno", "callback", "args", "cancelled")
+
+    def __init__(self, time: int, seqno: int,
+                 callback: Callable[..., None], args: tuple) -> None:
+        self.time = time
+        self.seqno = seqno
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seqno) < (other.time, other.seqno)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = " cancelled" if self.cancelled else ""
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"<Event t={self.time} #{self.seqno} {name}{state}>"
+
+
+class Engine:
+    """Deterministic discrete-event simulator with an integer clock."""
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._heap: list[Event] = []
+        self._next_seqno = 0
+        self._running = False
+        self._executed = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of callbacks executed so far (for instrumentation)."""
+        return self._executed
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, callback: Callable[..., None],
+                 *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` cycles from now.
+
+        ``delay`` must be non-negative; zero-delay events run after all
+        events already scheduled for the current cycle.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = Event(self._now + delay, self._next_seqno, callback, args)
+        self._next_seqno += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: int, callback: Callable[..., None],
+                    *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at an absolute cycle time."""
+        return self.schedule(time - self._now, callback, *args)
+
+    @staticmethod
+    def cancel(event: Event) -> None:
+        """Cancel a pending event (no-op if it already ran)."""
+        event.cancelled = True
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[int] = None,
+            max_events: Optional[int] = None) -> int:
+        """Run until the queue drains, ``until`` cycles pass, or
+        ``max_events`` callbacks execute.
+
+        Returns the simulation time when the loop stopped.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run())")
+        self._running = True
+        executed_this_run = 0
+        try:
+            while self._heap:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    self._now = until
+                    break
+                if max_events is not None and executed_this_run >= max_events:
+                    break
+                heapq.heappop(self._heap)
+                if event.time < self._now:
+                    raise SimulationError(
+                        f"time went backwards: event at {event.time}, now {self._now}")
+                self._now = event.time
+                event.callback(*event.args)
+                self._executed += 1
+                executed_this_run += 1
+        finally:
+            self._running = False
+        return self._now
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Engine now={self._now} pending={self.pending()}>"

@@ -1,0 +1,5 @@
+"""The SMP baseline machine (Section 5's comparison system)."""
+
+from repro.smp.machine import build_smp_machine
+
+__all__ = ["build_smp_machine"]

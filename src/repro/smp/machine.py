@@ -1,0 +1,23 @@
+"""The SMP baseline system.
+
+The paper compares every MISP result against "a similarly configured
+SMP machine" (Section 5): the same number of cores, all OS-visible,
+with threads scheduled by the kernel.  In this model an SMP system is
+simply a machine whose processors all have zero AMSs -- every MISP
+mechanism (AMS serialization, proxy execution, SIGNAL) is then
+structurally unreachable, and every core services its own faults,
+syscalls, and timer interrupts locally.
+"""
+
+from __future__ import annotations
+
+from repro.core.machine import Machine
+from repro.params import DEFAULT_PARAMS, MachineParams
+
+
+def build_smp_machine(num_cpus: int,
+                      params: MachineParams = DEFAULT_PARAMS,
+                      record_fine_trace: bool = False) -> Machine:
+    """Build an SMP machine with ``num_cpus`` OS-visible cores."""
+    return Machine([0] * num_cpus, params=params,
+                   record_fine_trace=record_fine_trace)

@@ -1,0 +1,75 @@
+"""Workload interface for the evaluation harness.
+
+A workload is a multi-shredded application written against the public
+:class:`~repro.shredlib.api.ShredAPI`.  The same body runs on every
+system configuration:
+
+* on **MISP**, the main shred runs inside one OS thread whose gang
+  schedulers occupy the OMS and (via ``SIGNAL``) the AMSs;
+* on the **SMP baseline**, the gang schedulers run as one OS thread
+  per core;
+* on the **1P baseline**, a single gang scheduler runs everything
+  sequentially (the denominator of Figure 4's speedups).
+
+``build(api, nworkers)`` returns the main shred's generator;
+``nworkers`` is how many gang schedulers will drain the queue, so the
+workload can size its shred count (M >= N, Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from repro.exec.ops import Op
+from repro.shredlib.api import ShredAPI
+
+#: signature of a workload main-shred factory
+BuildFn = Callable[[ShredAPI, int], Iterator[Op]]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One benchmark application."""
+
+    name: str
+    #: "rms", "speccomp", "micro", or "legacy"
+    suite: str
+    build: BuildFn
+    description: str = ""
+    #: deterministic seed fed to the workload's RNG streams
+    seed: int = 0
+
+    def instantiate(self, api: ShredAPI, nworkers: int) -> Iterator[Op]:
+        return self.build(api, nworkers)
+
+
+class WorkloadRegistry:
+    """Name -> spec registry used by benchmarks and examples."""
+
+    def __init__(self) -> None:
+        self._specs: dict[str, WorkloadSpec] = {}
+
+    def register(self, spec: WorkloadSpec) -> WorkloadSpec:
+        if spec.name in self._specs:
+            raise ValueError(f"workload '{spec.name}' already registered")
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name: str) -> WorkloadSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown workload '{name}'; known: {sorted(self._specs)}"
+            ) from None
+
+    def by_suite(self, suite: str) -> list[WorkloadSpec]:
+        return [s for s in self._specs.values() if s.suite == suite]
+
+    def names(self) -> list[str]:
+        return sorted(self._specs)
+
+
+#: the process-wide registry populated by the rms/ and speccomp/ modules
+REGISTRY = WorkloadRegistry()

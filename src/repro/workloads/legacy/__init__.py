@@ -1,0 +1,12 @@
+"""Legacy multithreaded applications for the Table 2 porting study."""
+
+from repro.workloads.legacy import apps
+from repro.workloads.legacy.apps import (
+    make_jrockit_like, make_lame_mt, make_media_encoder, make_ode_like,
+    make_thread_checker_like,
+)
+
+__all__ = [
+    "apps", "make_jrockit_like", "make_lame_mt", "make_media_encoder",
+    "make_ode_like", "make_thread_checker_like",
+]

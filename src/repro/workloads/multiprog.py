@@ -1,0 +1,157 @@
+"""Multiprogramming driver for the Figure 7 experiment (Section 5.4).
+
+"Figure 7 shows the performance of RayTracer as non-shredded
+applications are gradually added to the system."  The measured
+application is the multi-shredded RayTracer; the load is N
+single-threaded, CPU-bound background processes.  The kernel scheduler
+is shred-oblivious, so on configurations with few OMSs the background
+processes time-share the OMS that drives RayTracer's AMSs -- and every
+quantum the RayTracer thread loses also idles its AMSs, which is the
+effect the figure quantifies.
+
+Configurations are the Figure 6 partitions of eight sequencers
+("4x2", "2x4", "1x8", "1x7+1", ... "1x4+4"), plus "smp" (the 8-way SMP
+baseline running RayTracer as eight worker threads) and "ideal" (the
+per-load uneven partition 1x(8-N)+N that gives each background process
+its own AMS-less OMS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from repro.core.machine import Machine
+from repro.core.mp import build_machine, ideal_config_for_load, parse_config
+from repro.errors import SimulationError
+from repro.exec.context import ExecContext
+from repro.exec.ops import Compute, Op
+from repro.params import DEFAULT_PARAMS, MachineParams
+from repro.shredlib.api import ShredAPI
+from repro.shredlib.runtime import ShredRuntime
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.rms.raytracer import make_raytracer
+from repro.workloads.runner import (
+    misp_thread_body, smp_main_body, _ensure_thread_create, _setup,
+)
+
+#: RayTracer size used for the sweep (full scale is unnecessarily slow
+#: for a 45-run experiment; the curve is a ratio of its own runtimes)
+DEFAULT_RT_SCALE = 0.15
+
+#: simulation slice while polling for RayTracer completion
+_SLICE = 100_000_000
+
+#: absolute per-run budget
+_HORIZON = 200_000_000_000
+
+
+def background_body() -> Iterator[Op]:
+    """A single-threaded, CPU-bound process that never exits."""
+    while True:
+        yield Compute(100_000)
+
+
+@dataclass(frozen=True)
+class MultiprogResult:
+    config: str
+    background: int
+    raytracer_cycles: int
+    machine: Machine
+
+
+def run_multiprogram(config: str, background: int,
+                     rt_scale: float = DEFAULT_RT_SCALE,
+                     params: MachineParams = DEFAULT_PARAMS,
+                     horizon: int = _HORIZON) -> MultiprogResult:
+    """Run RayTracer plus N background processes on one configuration."""
+    workload = make_raytracer(scale=rt_scale)
+    if config == "smp":
+        machine = build_machine("smp8", params=params)
+        _ensure_thread_create(machine)
+        process, rt, api = _setup(machine, workload, params)
+        machine.spawn_thread(
+            process, "raytracer-main",
+            smp_main_body(machine, process, rt, api, workload,
+                          nworkers=machine.num_cpus))
+    elif config == "ideal":
+        counts = ideal_config_for_load(8, background)
+        machine = build_machine(counts, params=params)
+        process, rt, api = _setup(machine, workload, params)
+        thread = machine.spawn_thread(
+            process, "raytracer-main",
+            misp_thread_body(machine, 0, rt, api, workload,
+                             nworkers=1 + counts[0]),
+            pinned_cpu=0)
+        thread.is_shredded = counts[0] > 0
+    else:
+        counts = parse_config(config)
+        machine = build_machine(counts, params=params)
+        process, rt, api = _setup(machine, workload, params)
+        thread = machine.spawn_thread(
+            process, "raytracer-main",
+            misp_thread_body(machine, 0, rt, api, workload,
+                             nworkers=1 + counts[0]),
+            pinned_cpu=0)
+        thread.is_shredded = counts[0] > 0
+
+    for i in range(background):
+        bg = machine.spawn_process(f"background-{i}")
+        machine.spawn_thread(bg, f"bg-{i}", background_body())
+
+    machine.start_timers()
+    while not process.exited and machine.now < horizon:
+        machine.run(until=machine.now + _SLICE)
+    if not process.exited:
+        raise SimulationError(
+            f"RayTracer did not finish on '{config}' with {background} "
+            f"background processes within {horizon} cycles")
+    machine.stop()
+    return MultiprogResult(config, background, process.exit_time, machine)
+
+
+def speedup_curve(config: str, loads: Sequence[int] = range(5),
+                  rt_scale: float = DEFAULT_RT_SCALE,
+                  params: MachineParams = DEFAULT_PARAMS) -> list[float]:
+    """Speedup (vs unloaded) of RayTracer as load increases (one line
+    of Figure 7).
+
+    Every Figure 7 curve is normalized to its own configuration
+    running unloaded -- that is why all curves start at 1.0 even
+    though, say, 4x2 gives RayTracer only two sequencers.  For the
+    per-load "ideal" partition the configuration changes with the
+    load, so the baseline is re-measured per point: background
+    processes on their own AMS-less OMSs leave RayTracer at 1.0.
+    """
+    curve: list[float] = []
+    baseline: Optional[int] = None
+    for load in loads:
+        result = run_multiprogram(config, load, rt_scale, params)
+        if config == "ideal":
+            unloaded = _ideal_unloaded(load, rt_scale, params)
+            curve.append(unloaded / result.raytracer_cycles)
+            continue
+        if baseline is None:
+            baseline = result.raytracer_cycles
+        curve.append(baseline / result.raytracer_cycles)
+    return curve
+
+
+def _ideal_unloaded(load: int, rt_scale: float,
+                    params: MachineParams) -> int:
+    """Unloaded RayTracer runtime on the load-``load`` ideal partition."""
+    counts = ideal_config_for_load(8, load)
+    workload = make_raytracer(scale=rt_scale)
+    machine = build_machine(counts, params=params)
+    process, rt, api = _setup(machine, workload, params)
+    thread = machine.spawn_thread(
+        process, "raytracer-main",
+        misp_thread_body(machine, 0, rt, api, workload,
+                         nworkers=1 + counts[0]),
+        pinned_cpu=0)
+    thread.is_shredded = counts[0] > 0
+    machine.start_timers()
+    while not process.exited and machine.now < _HORIZON:
+        machine.run(until=machine.now + _SLICE)
+    machine.stop()
+    return process.exit_time

@@ -1,0 +1,19 @@
+"""RMS benchmark-suite kernels (Section 5.2)."""
+
+from repro.workloads.rms.dense import (
+    make_dense_mmm, make_dense_mvm, make_dense_mvm_sym,
+)
+from repro.workloads.rms.raytracer import make_raytracer
+from repro.workloads.rms.solvers import (
+    make_adat, make_gauss, make_kmeans, make_svm_c,
+)
+from repro.workloads.rms.sparse import (
+    make_sparse_mvm, make_sparse_mvm_sym, make_sparse_mvm_trans,
+)
+
+__all__ = [
+    "make_dense_mmm", "make_dense_mvm", "make_dense_mvm_sym",
+    "make_raytracer", "make_adat", "make_gauss", "make_kmeans",
+    "make_svm_c", "make_sparse_mvm", "make_sparse_mvm_sym",
+    "make_sparse_mvm_trans",
+]

@@ -1,0 +1,77 @@
+"""RayTracer: the RMS suite's "highly scalable multithreaded graphics
+application" (Hurley, Intel Technology Journal 2005).
+
+Tile-based rendering: the image is cut into many more tiles than
+sequencers and tiles flow through the shared work queue, so the large
+per-tile cost variance (empty sky vs. reflective geometry) balances
+naturally -- which is why RayTracer is the most scalable application
+in Figure 4 and the measured application of the Figure 7
+multiprogramming study.
+
+Page profile (Table 1): the main shred loads the scene/BVH (210 OMS
+compulsory faults); worker shreds first-touch the framebuffer and
+per-tile ray state (979 AMS proxy faults).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.exec.ops import Op
+from repro.shredlib.api import ShredAPI
+from repro.workloads.base import REGISTRY, WorkloadSpec
+from repro.workloads.common import WORK_CHUNK, chunk_ranges, jittered, parallel_for
+
+
+def _scaled(value: int, scale: float, minimum: int = 1) -> int:
+    return max(minimum, int(value * scale))
+
+
+def make_raytracer(scale: float = 1.0, ntiles: int = 512,
+                   probe_pages: bool = False) -> WorkloadSpec:
+    """``probe_pages=True`` applies the Section 5.3 optimization: the
+    main shred touches one byte of every framebuffer page while still
+    in the serial region, converting the workers' compulsory AMS proxy
+    faults into cheap OMS faults."""
+    scene_pages = _scaled(210, scale)
+    framebuffer_pages = _scaled(979, scale)
+    total_work = _scaled(9_170_000_000, scale)
+    serial_work = _scaled(34_000_000, scale)
+
+    def build(api: ShredAPI, nworkers: int) -> Iterator[Op]:
+        ctx = api.ctx
+        scene = ctx.reserve("scene", scene_pages)
+        framebuffer = ctx.reserve("framebuffer", framebuffer_pages)
+        rng = ctx.rng(51)
+        tiles = chunk_ranges(framebuffer_pages, ntiles)
+
+        def render_tile(tid: int) -> Iterator[Op]:
+            start, count = tiles[tid]
+            if count > 0:
+                yield from ctx.touch_range(framebuffer, start, count,
+                                           write=True)
+            # per-tile cost varies strongly with scene content
+            yield from ctx.compute(
+                jittered(total_work // ntiles, 0.40, rng), chunk=WORK_CHUNK)
+
+        def main() -> Iterator[Op]:
+            # serial: parse the scene and build the BVH
+            yield from ctx.touch_range(scene, 0, scene_pages, write=True)
+            if probe_pages:
+                # page-probing optimization (Section 5.3)
+                yield from ctx.touch_range(framebuffer, 0,
+                                           framebuffer_pages, write=True)
+            yield from ctx.compute(serial_work, chunk=WORK_CHUNK)
+            bodies = [render_tile(i) for i in range(ntiles)]
+            yield from parallel_for(api, bodies, name="tile")
+            # write the image out
+            yield from ctx.syscall("write")
+
+        return main()
+
+    name = "RayTracer" + ("_probed" if probe_pages else "")
+    return WorkloadSpec(name, "rms", build,
+                        description="tile-parallel ray tracer")
+
+
+REGISTRY.register(make_raytracer())

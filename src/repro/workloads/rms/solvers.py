@@ -1,0 +1,197 @@
+"""RMS iterative solvers and learners: gauss, kmeans, svm_c, ADAt.
+
+* ``gauss`` -- red/black Gauss-Seidel PDE sweeps ("partial
+  differential equations solver (Gauss-Seidel iterative solver)").
+  The main shred initializes the full grid -- 7170 compulsory OMS
+  faults in the paper's Table 1 -- and worker tasks then sweep
+  already-resident pages, so AMS proxy faults are ~0.
+* ``kmeans`` -- K-means clustering: parallel assignment over point
+  chunks, serial centroid recomputation per iteration.
+* ``svm_c`` -- SVM classifier training: parallel kernel-row
+  evaluations with a shred-side kernel cache (its first touches are
+  the paper's 1307 AMS faults), serial multiplier update.
+* ``ADAt`` -- the A*D*A^T triple product: two dependent parallel
+  phases per iteration.
+
+gauss, kmeans, and svm_c also log progress through a periodic
+``write`` system call on the main shred -- the 8 OMS syscalls the
+paper reports for each.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.exec.ops import Op
+from repro.shredlib.api import ShredAPI
+from repro.workloads.base import REGISTRY, WorkloadSpec
+from repro.workloads.common import (
+    WORK_CHUNK, chunk_ranges, jittered, parallel_for,
+)
+
+
+def _scaled(value: int, scale: float, minimum: int = 1) -> int:
+    return max(minimum, int(value * scale))
+
+
+def make_gauss(scale: float = 1.0) -> WorkloadSpec:
+    """Red/black Gauss-Seidel iterative solver."""
+    grid_pages = _scaled(7170, scale)
+    iterations = 24
+    total_work = _scaled(15_900_000_000, scale)
+    serial_work = _scaled(800_000_000, scale)   # residual checks
+    syscall_every = 3                           # 24/3 = 8 progress logs
+    ntasks = 32
+
+    def build(api: ShredAPI, nworkers: int) -> Iterator[Op]:
+        ctx = api.ctx
+        grid = ctx.reserve("grid", grid_pages)
+        work_per_phase = total_work // (iterations * 2)
+        serial_per_iter = serial_work // iterations
+
+        def sweep_task(tid: int) -> Iterator[Op]:
+            # pages are resident (main initialized the grid)
+            yield from ctx.compute(work_per_phase // ntasks, chunk=WORK_CHUNK)
+
+        def main() -> Iterator[Op]:
+            # serial: set up the grid and boundary conditions
+            yield from ctx.touch_range(grid, 0, grid_pages, write=True)
+            for iteration in range(iterations):
+                for _color in ("red", "black"):
+                    bodies = [sweep_task(i) for i in range(ntasks)]
+                    yield from parallel_for(api, bodies, name="sweep")
+                yield from ctx.compute(serial_per_iter, chunk=WORK_CHUNK)
+                if iteration % syscall_every == syscall_every - 1:
+                    yield from ctx.syscall("write")
+
+        return main()
+
+    return WorkloadSpec("gauss", "rms", build,
+                        description="red/black Gauss-Seidel PDE solver")
+
+
+def make_kmeans(scale: float = 1.0) -> WorkloadSpec:
+    """K-means clustering."""
+    point_pages = _scaled(7170, scale)
+    iterations = 10
+    total_work = _scaled(3_250_000_000, scale)
+    serial_work = _scaled(95_000_000, scale)
+    ntasks = 32
+
+    def build(api: ShredAPI, nworkers: int) -> Iterator[Op]:
+        ctx = api.ctx
+        points = ctx.reserve("points", point_pages)
+        rng = ctx.rng(21)
+        work_per_iter = total_work // iterations
+        serial_per_iter = serial_work // iterations
+
+        def assign_task(tid: int) -> Iterator[Op]:
+            yield from ctx.compute(
+                jittered(work_per_iter // ntasks, 0.05, rng),
+                chunk=WORK_CHUNK)
+
+        def main() -> Iterator[Op]:
+            # serial: load the dataset
+            yield from ctx.touch_range(points, 0, point_pages, write=True)
+            for iteration in range(iterations):
+                bodies = [assign_task(i) for i in range(ntasks)]
+                yield from parallel_for(api, bodies, name="assign")
+                # serial: recompute centroids
+                yield from ctx.compute(serial_per_iter, chunk=WORK_CHUNK)
+                if iteration % 2 == 0 and iteration < 16:
+                    yield from ctx.syscall("write")
+                if iteration % 2 == 1 and iteration < 6:
+                    yield from ctx.syscall("write")
+
+        return main()
+
+    return WorkloadSpec("kmeans", "rms", build,
+                        description="K-means clustering")
+
+
+def make_svm_c(scale: float = 1.0) -> WorkloadSpec:
+    """SVM classifier training."""
+    data_pages = _scaled(7204, scale)
+    cache_pages = _scaled(1307, scale)
+    iterations = 16
+    total_work = _scaled(11_400_000_000, scale)
+    serial_work = _scaled(560_000_000, scale)
+    ntasks = 48
+
+    def build(api: ShredAPI, nworkers: int) -> Iterator[Op]:
+        ctx = api.ctx
+        data = ctx.reserve("training", data_pages)
+        cache = ctx.reserve("kcache", cache_pages)
+        rng = ctx.rng(31)
+        work_per_iter = total_work // iterations
+        serial_per_iter = serial_work // iterations
+        # kernel-cache rows materialize over the first iterations
+        cache_slices = chunk_ranges(cache_pages, iterations // 2)
+
+        def kernel_task(tid: int, iteration: int) -> Iterator[Op]:
+            if iteration < len(cache_slices) and tid == 0:
+                start, count = cache_slices[iteration]
+                yield from ctx.touch_range(cache, start, count, write=True)
+            yield from ctx.compute(
+                jittered(work_per_iter // ntasks, 0.20, rng),
+                chunk=WORK_CHUNK)
+
+        def main() -> Iterator[Op]:
+            yield from ctx.touch_range(data, 0, data_pages, write=True)
+            for iteration in range(iterations):
+                bodies = [kernel_task(i, iteration) for i in range(ntasks)]
+                yield from parallel_for(api, bodies, name="kernel")
+                yield from ctx.compute(serial_per_iter, chunk=WORK_CHUNK)
+                if iteration % 2 == 1:
+                    yield from ctx.syscall("write")
+
+        return main()
+
+    return WorkloadSpec("svm_c", "rms", build,
+                        description="SVM classifier training")
+
+
+def make_adat(scale: float = 1.0) -> WorkloadSpec:
+    """The A*D*A^T triple product (two dependent parallel phases)."""
+    main_pages = _scaled(1, scale)
+    shred_pages = _scaled(9, scale)
+    iterations = 6
+    total_work = _scaled(2_130_000_000, scale)
+    serial_work = _scaled(63_000_000, scale)
+    ntasks = 32
+
+    def build(api: ShredAPI, nworkers: int) -> Iterator[Op]:
+        ctx = api.ctx
+        diag = ctx.reserve("D", main_pages)
+        temp = ctx.reserve("DAt", shred_pages)
+        rng = ctx.rng(41)
+        work_per_phase = total_work // (iterations * 2)
+        serial_per_iter = serial_work // iterations
+
+        def phase_task(tid: int, iteration: int, phase: int) -> Iterator[Op]:
+            if iteration == 0 and phase == 0:
+                yield from ctx.touch_range(temp, tid % shred_pages, 1,
+                                           write=True)
+            yield from ctx.compute(
+                jittered(work_per_phase // ntasks, 0.08, rng),
+                chunk=WORK_CHUNK)
+
+        def main() -> Iterator[Op]:
+            yield from ctx.touch_range(diag, 0, main_pages, write=True)
+            for iteration in range(iterations):
+                for phase in range(2):  # D*A^T then A*(D*A^T)
+                    bodies = [phase_task(i, iteration, phase)
+                              for i in range(ntasks)]
+                    yield from parallel_for(api, bodies, name=f"ph{phase}")
+                yield from ctx.compute(serial_per_iter, chunk=WORK_CHUNK)
+
+        return main()
+
+    return WorkloadSpec("ADAt", "rms", build,
+                        description="A*D*A^T triple product")
+
+
+REGISTRY.register(make_gauss())
+REGISTRY.register(make_kmeans())
+REGISTRY.register(make_svm_c())
+REGISTRY.register(make_adat())

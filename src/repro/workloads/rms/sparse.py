@@ -1,0 +1,103 @@
+"""RMS sparse matrix-vector kernels: sparse_mvm, sparse_mvm_sym,
+sparse_mvm_trans.
+
+CSR-style kernels with irregular per-row work (higher task variance
+than the dense kernels).  The symmetric variant updates both ``y[i]``
+and ``y[j]`` per nonzero, so concurrent tasks serialize briefly on
+per-band output locks -- the kind of "contention on common
+synchronization objects" ShredLib's event log profiles (Section 4.2).
+
+Per the paper's Table 1 these kernels first-touch most of their data
+from worker shreds (CSR value/column slices), so their compulsory
+faults arrive as AMS proxy events (205 / 669 / 200), unlike
+gauss/kmeans/svm whose main thread initializes everything.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.exec.ops import Op
+from repro.shredlib.api import ShredAPI
+from repro.workloads.base import REGISTRY, WorkloadSpec
+from repro.workloads.common import (
+    WORK_CHUNK, chunk_ranges, jittered, parallel_for,
+)
+
+
+def _scaled(value: int, scale: float, minimum: int = 1) -> int:
+    return max(minimum, int(value * scale))
+
+
+def _make_sparse(name: str, *, main_pages: int, shred_pages: int,
+                 total_work: int, serial_work: int, iterations: int,
+                 task_cv: float, locked_bands: int = 0,
+                 scale: float = 1.0) -> WorkloadSpec:
+    main_pages = _scaled(main_pages, scale)
+    shred_pages = _scaled(shred_pages, scale)
+    total_work = _scaled(total_work, scale)
+    serial_work = _scaled(serial_work, scale)
+    ntasks = 64
+
+    def build(api: ShredAPI, nworkers: int) -> Iterator[Op]:
+        ctx = api.ctx
+        index = ctx.reserve("csr_index", main_pages)   # row_ptr + x
+        values = ctx.reserve("csr_values", shred_pages)
+        rng = ctx.rng(11)
+        locks = [api.mutex(f"yband-{b}") for b in range(locked_bands)]
+        work_per_iter = total_work // iterations
+        serial_per_iter = serial_work // iterations
+        slices = chunk_ranges(shred_pages, ntasks)
+
+        def row_task(tid: int, iteration: int) -> Iterator[Op]:
+            if iteration == 0:
+                start, count = slices[tid]
+                yield from ctx.touch_range(values, start, count)
+            work = jittered(work_per_iter // ntasks, task_cv, rng)
+            if locks:
+                # symmetric update: y[i] and y[j] bands under lock
+                lock = locks[tid % len(locks)]
+                pre = work // 4
+                yield from ctx.compute(max(1, work - pre), chunk=WORK_CHUNK)
+                yield from lock.acquire()
+                yield from ctx.compute(max(1, pre), chunk=WORK_CHUNK)
+                yield from lock.release()
+            else:
+                yield from ctx.compute(work, chunk=WORK_CHUNK)
+
+        def main() -> Iterator[Op]:
+            # serial: build row pointers / load the vector
+            yield from ctx.touch_range(index, 0, main_pages, write=True)
+            for iteration in range(iterations):
+                bodies = [row_task(i, iteration) for i in range(ntasks)]
+                yield from parallel_for(api, bodies, name=name)
+                yield from ctx.compute(serial_per_iter, chunk=WORK_CHUNK)
+
+        return main()
+
+    return WorkloadSpec(name, "rms", build,
+                        description=f"CSR sparse kernel '{name}'")
+
+
+def make_sparse_mvm(scale: float = 1.0) -> WorkloadSpec:
+    return _make_sparse("sparse_mvm", main_pages=27, shred_pages=205,
+                        total_work=1_250_000_000, serial_work=81_000_000,
+                        iterations=4, task_cv=0.30, scale=scale)
+
+
+def make_sparse_mvm_sym(scale: float = 1.0) -> WorkloadSpec:
+    return _make_sparse("sparse_mvm_sym", main_pages=11, shred_pages=669,
+                        total_work=3_400_000_000, serial_work=294_000_000,
+                        iterations=8, task_cv=0.35, locked_bands=8,
+                        scale=scale)
+
+
+def make_sparse_mvm_trans(scale: float = 1.0) -> WorkloadSpec:
+    return _make_sparse("sparse_mvm_trans", main_pages=26, shred_pages=200,
+                        total_work=9_100_000_000, serial_work=590_000_000,
+                        iterations=12, task_cv=0.30, scale=scale)
+
+
+REGISTRY.register(make_sparse_mvm())
+REGISTRY.register(make_sparse_mvm_sym())
+REGISTRY.register(make_sparse_mvm_trans())

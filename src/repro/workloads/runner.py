@@ -1,0 +1,183 @@
+"""Run workloads on MISP, SMP, and 1P systems.
+
+This is the experiment driver used by every benchmark: it assembles a
+machine, a process, a ShredLib runtime, and the workload's shreds, and
+runs to completion.  The two system builders mirror Section 5.2's
+methodology:
+
+* :func:`run_misp` -- the application is ONE OS thread.  Its body
+  registers the proxy handler, pushes the main shred, ``SIGNAL``\\ s a
+  gang scheduler onto every AMS (Figure 3), and then runs a gang
+  scheduler itself on the OMS.
+* :func:`run_smp` -- the same application code runs as ``ncpus`` OS
+  threads (one gang scheduler each), the way an OpenMP runtime would
+  run it on a real SMP.
+* :func:`run_1p` -- one CPU, one gang scheduler: the sequential
+  baseline all Figure 4 speedups are normalized to.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.core.machine import Machine
+from repro.core.mp import build_machine, config_name
+from repro.errors import ConfigurationError
+from repro.exec.context import ExecContext
+from repro.exec.ops import Op, SignalShred, SyscallOp
+from repro.kernel.process import OSThread, Process
+from repro.params import DEFAULT_PARAMS, MachineParams
+from repro.shredlib.api import ShredAPI
+from repro.shredlib.proxyhandler import GenericProxyHandler
+from repro.shredlib.runtime import QueuePolicy, ShredRuntime
+from repro.shredlib.scheduler import gang_scheduler
+from repro.sim.trace import EventKind
+from repro.smp.machine import build_smp_machine
+from repro.workloads.base import WorkloadSpec
+
+#: default per-run cycle budget before declaring a hang
+DEFAULT_LIMIT = 2_000_000_000_000
+
+
+@dataclass
+class RunResult:
+    """Outcome of one workload execution."""
+
+    workload: str
+    system: str           # "misp" | "smp" | "1p"
+    config: str           # e.g. "1x8", "smp8"
+    cycles: int           # process completion time
+    machine: Machine
+    runtime: ShredRuntime
+    main_thread: OSThread
+
+    # ------------------------------------------------------------------
+    # Event accounting (the Table 1 view of this run)
+    # ------------------------------------------------------------------
+    def oms_event_count(self, kind: EventKind) -> int:
+        return self.machine.trace.total(kind, self.machine.oms_ids())
+
+    def ams_event_count(self, kind: EventKind) -> int:
+        return self.machine.trace.total(kind, self.machine.ams_ids())
+
+    def serializing_events(self) -> dict[str, int]:
+        """Counts in the paper's Table 1 layout."""
+        return {
+            "oms_syscall": self.oms_event_count(EventKind.SYSCALL),
+            "oms_pf": self.oms_event_count(EventKind.PAGE_FAULT),
+            "oms_timer": self.oms_event_count(EventKind.TIMER),
+            "oms_interrupt": self.oms_event_count(EventKind.INTERRUPT),
+            "ams_syscall": self.ams_event_count(EventKind.SYSCALL),
+            "ams_pf": self.ams_event_count(EventKind.PAGE_FAULT),
+        }
+
+
+def _workload_seed(workload: WorkloadSpec) -> int:
+    return workload.seed or zlib.crc32(workload.name.encode())
+
+
+def _setup(machine: Machine, workload: WorkloadSpec,
+           params: MachineParams) -> tuple[Process, ShredRuntime, ShredAPI]:
+    process = machine.spawn_process(workload.name)
+    ctx = ExecContext(process, params, seed=_workload_seed(workload))
+    ctx.machine = machine
+    rt = ShredRuntime(params, name=workload.name)
+    api = ShredAPI(rt, ctx)
+    return process, rt, api
+
+
+def misp_thread_body(machine: Machine, proc_index: int, rt: ShredRuntime,
+                     api: ShredAPI, workload: WorkloadSpec,
+                     nworkers: int) -> Iterator[Op]:
+    """Body of the single multi-shredded OS thread (Figure 3).
+
+    Exposed publicly so the Figure 7 driver can build mixed workloads.
+    """
+    processor = machine.processors[proc_index]
+    handler = GenericProxyHandler()
+    handler.register(processor)
+    yield from GenericProxyHandler.registration_ops(rt.params)
+    main = rt.new_shred(workload.instantiate(api, nworkers), name="main")
+    main.affinity = 0  # the main shred is the OS thread's own execution
+    rt.set_main(main)
+    rt.push(main)
+    for sid in range(1, len(processor.amss) + 1):
+        yield SignalShred(sid, gang_scheduler(rt, worker_id=sid),
+                          label=f"gang-{sid}")
+    yield from gang_scheduler(rt, worker_id=0)
+
+
+def run_misp(workload: WorkloadSpec, ams_count: int = 7,
+             params: MachineParams = DEFAULT_PARAMS,
+             limit: int = DEFAULT_LIMIT,
+             policy: QueuePolicy = QueuePolicy.FIFO) -> RunResult:
+    """Run a workload on a MISP uniprocessor with ``ams_count`` AMSs."""
+    machine = build_machine([ams_count], params=params)
+    process, rt, api = _setup(machine, workload, params)
+    rt.policy = policy
+    nworkers = 1 + ams_count
+    thread = machine.spawn_thread(
+        process, f"{workload.name}-main",
+        misp_thread_body(machine, 0, rt, api, workload, nworkers),
+        pinned_cpu=0)
+    thread.is_shredded = ams_count > 0
+    cycles = machine.run_to_completion(limit)
+    return RunResult(workload.name, "misp", config_name([ams_count]),
+                     process.exit_time or cycles, machine, rt, thread)
+
+
+def smp_worker_body(rt: ShredRuntime, worker_id: int) -> Iterator[Op]:
+    """One SMP worker OS thread: a bare gang scheduler."""
+    yield from gang_scheduler(rt, worker_id)
+
+
+def smp_main_body(machine: Machine, process: Process, rt: ShredRuntime,
+                  api: ShredAPI, workload: WorkloadSpec,
+                  nworkers: int) -> Iterator[Op]:
+    """Main OS thread on SMP: spawn workers, then join the gang."""
+    main = rt.new_shred(workload.instantiate(api, nworkers), name="main")
+    main.affinity = 0  # runs on the main OS thread's gang scheduler
+    rt.set_main(main)
+    rt.push(main)
+    for i in range(1, nworkers):
+        # thread creation is an OS service on SMP
+        yield SyscallOp("thread_create", cost=rt.params.syscall_service_cost)
+        machine.spawn_thread(process, f"{workload.name}-w{i}",
+                             smp_worker_body(rt, i))
+    yield from gang_scheduler(rt, worker_id=0)
+
+
+def run_smp(workload: WorkloadSpec, ncpus: int = 8,
+            params: MachineParams = DEFAULT_PARAMS,
+            limit: int = DEFAULT_LIMIT,
+            policy: QueuePolicy = QueuePolicy.FIFO) -> RunResult:
+    """Run a workload on the ``ncpus``-way SMP baseline."""
+    machine = build_smp_machine(ncpus, params=params)
+    _ensure_thread_create(machine)
+    process, rt, api = _setup(machine, workload, params)
+    rt.policy = policy
+    thread = machine.spawn_thread(
+        process, f"{workload.name}-main",
+        smp_main_body(machine, process, rt, api, workload, ncpus))
+    cycles = machine.run_to_completion(limit)
+    return RunResult(workload.name, "smp" if ncpus > 1 else "1p",
+                     f"smp{ncpus}", process.exit_time or cycles,
+                     machine, rt, thread)
+
+
+def run_1p(workload: WorkloadSpec,
+           params: MachineParams = DEFAULT_PARAMS,
+           limit: int = DEFAULT_LIMIT) -> RunResult:
+    """Single-sequencer baseline run (Figure 4's denominator)."""
+    return run_smp(workload, ncpus=1, params=params, limit=limit)
+
+
+def _ensure_thread_create(machine: Machine) -> None:
+    """Register the thread_create syscall if this kernel lacks it."""
+    from repro.kernel.syscalls import SyscallSpec
+    try:
+        machine.kernel.syscalls.lookup("thread_create")
+    except ConfigurationError:
+        machine.kernel.syscalls.register(SyscallSpec("thread_create"))

@@ -1,0 +1,5 @@
+"""SPEComp application proxies (Section 5.2)."""
+
+from repro.workloads.speccomp.apps import EVENT_SCALE, PROFILES, make_speccomp
+
+__all__ = ["EVENT_SCALE", "PROFILES", "make_speccomp"]

@@ -1,0 +1,118 @@
+"""Tests for the analysis layer (row math, formatters, spec lookup)
+and the legacy applications on both system types."""
+
+import pytest
+
+from repro.analysis.figure4 import Figure4Result, SpeedupRow, _spec
+from repro.analysis.figure5 import PAPER_TICK_CYCLES, sensitivity_from_run
+from repro.analysis.report import figure6_text
+from repro.analysis.table1 import EventRow, PAPER_TABLE1, format_table1
+from repro.workloads.legacy import (
+    make_jrockit_like, make_lame_mt, make_media_encoder, make_ode_like,
+    make_thread_checker_like,
+)
+from repro.workloads.runner import run_1p, run_misp, run_smp
+
+
+class TestFigure4Math:
+    def make_result(self):
+        rows = [
+            SpeedupRow("a", "rms", 1000, 125, 120),
+            SpeedupRow("b", "rms", 1000, 250, 260),
+            SpeedupRow("c", "speccomp", 1000, 200, 210),
+        ]
+        return Figure4Result(rows, {})
+
+    def test_speedups(self):
+        result = self.make_result()
+        row = result.row("a")
+        assert row.misp_speedup == pytest.approx(8.0)
+        assert row.smp_speedup == pytest.approx(1000 / 120)
+        assert row.misp_vs_smp == pytest.approx(125 / 120 - 1)
+
+    def test_suite_mean(self):
+        result = self.make_result()
+        expected = ((125 / 120 - 1) + (250 / 260 - 1)) / 2
+        assert result.mean_misp_vs_smp("rms") == pytest.approx(expected)
+        with pytest.raises(ValueError):
+            result.mean_misp_vs_smp("nope")
+
+    def test_row_lookup_missing(self):
+        with pytest.raises(KeyError):
+            self.make_result().row("zzz")
+
+    def test_spec_lookup_scaled(self):
+        spec = _spec("gauss", 0.1)
+        assert spec.name == "gauss"
+        spec2 = _spec("swim", 0.1)
+        assert spec2.suite == "speccomp"
+        full = _spec("gauss", None)
+        assert full.name == "gauss"
+
+
+class TestTable1Rows:
+    def test_totals(self):
+        row = EventRow("x", 1, 2, 3, 4, 5, 6)
+        assert row.total_oms == 10
+        assert row.total_ams == 11
+
+    def test_paper_reference_sums(self):
+        # spot-check the transcription against the paper
+        assert PAPER_TABLE1["RayTracer"].ams_pf == 979
+        assert PAPER_TABLE1["art"].ams_syscall == 436
+        assert PAPER_TABLE1["galgel"].oms_pf == 152_806
+
+    def test_format_without_compare(self):
+        text = format_table1([EventRow("x", 0, 0, 0, 0, 0, 0)],
+                             compare=False)
+        assert "paper" not in text
+
+
+class TestFigure5Model:
+    def test_decompression_ratio(self):
+        result = run_misp(_spec("dense_mvm", 0.1), ams_count=3)
+        row = sensitivity_from_run(result)
+        stretch = PAPER_TICK_CYCLES / 2_000_000
+        for measured, decompressed in zip(row.overheads,
+                                          row.overheads_decompressed):
+            assert decompressed == pytest.approx(measured / stretch)
+
+
+class TestReportHelpers:
+    def test_figure6_text(self):
+        text = figure6_text()
+        for name in ("4x2", "2x4", "1x8", "1x4+4"):
+            assert name in text
+        assert "OMS+7AMS" in text
+
+
+class TestLegacyApps:
+    @pytest.mark.parametrize("factory", [
+        make_lame_mt, make_media_encoder, make_jrockit_like,
+        make_thread_checker_like,
+        lambda: make_ode_like(restructured=False),
+        lambda: make_ode_like(restructured=True),
+    ])
+    def test_runs_on_misp_and_smp(self, factory):
+        misp = run_misp(factory(), ams_count=3)
+        assert misp.runtime.active == 0
+        smp = run_smp(factory(), ncpus=4)
+        assert smp.runtime.active == 0
+
+    def test_legacy_apps_scale(self):
+        app = make_lame_mt()
+        base = run_1p(app)
+        misp = run_misp(app, ams_count=7)
+        assert base.cycles / misp.cycles > 4.0
+
+    def test_shim_counter_exposed(self):
+        result = run_misp(make_lame_mt(), ams_count=3)
+        shim = result.runtime.legacy_shim
+        assert shim.calls_translated > 0
+
+    def test_ode_naive_freezes_team(self):
+        naive = run_misp(make_ode_like(restructured=False), ams_count=7)
+        fixed = run_misp(make_ode_like(restructured=True), ams_count=7)
+        assert naive.cycles > fixed.cycles
+        # the naive port blocks its shredded thread in the kernel
+        assert naive.main_thread.context_switches > 0

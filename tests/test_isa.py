@@ -1,0 +1,314 @@
+"""Tests for the mini-ISA: assembler, interpreter semantics, and the
+MISP extension instructions at ISA granularity."""
+
+import pytest
+
+from repro.core import build_machine
+from repro.errors import AssemblerError, InvalidInstructionError
+from repro.isa import SP, AsmStream, Opcode, assemble
+from repro.params import DEFAULT_PARAMS, PAGE_SIZE
+from repro.sim.trace import EventKind
+
+
+def quiet_params():
+    return DEFAULT_PARAMS.with_changes(timer_quantum=10**12,
+                                       device_interrupt_period=0)
+
+
+def make_env(ams=1, data_pages=4, stack_pages=1):
+    """A machine + process with a data region at 0x100000 and a stack."""
+    machine = build_machine([ams], params=quiet_params())
+    proc = machine.spawn_process("asm")
+    space = proc.address_space
+    space._next_vpn = 0x100000 // PAGE_SIZE
+    data = space.reserve("data", data_pages)
+    stack = space.reserve("stack", stack_pages)
+    stack_top = stack.base_vaddr + stack.size_bytes
+    return machine, proc, data, stack_top
+
+
+def run_asm(source, ams=1, shredded=False, data_pages=4):
+    machine, proc, data, stack_top = make_env(ams, data_pages)
+    program = assemble(source)
+    stream = AsmStream(program, proc, quiet_params(),
+                       stack_top=stack_top, label="main")
+    thread = machine.spawn_thread(proc, "main", stream, pinned_cpu=0)
+    thread.is_shredded = shredded
+    machine.run_to_completion(limit=10**10)
+    return machine, stream
+
+
+# ----------------------------------------------------------------------
+# Assembler
+# ----------------------------------------------------------------------
+class TestAssembler:
+    def test_labels_resolve(self):
+        program = assemble("start: nop\n jmp start\n")
+        assert program[1].opcode is Opcode.JMP
+        assert program[1].target == 0
+
+    def test_forward_labels(self):
+        program = assemble("jmp end\nnop\nend: halt\n")
+        assert program[0].target == 2
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("""
+            ; full-line comment
+            li r0, 5   # trailing comment
+
+            halt
+        """)
+        assert len(program) == 2
+
+    def test_sp_alias(self):
+        program = assemble("mov r0, sp\nhalt")
+        assert program[0].rs == SP
+
+    def test_hex_immediates(self):
+        program = assemble("li r0, 0x10\nhalt")
+        assert program[0].imm == 16
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("jmp nowhere")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("a: nop\na: nop")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            assemble("frob r0, r1")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("li r9, 1")
+
+    def test_operand_count_checked(self):
+        with pytest.raises(AssemblerError):
+            assemble("add r0, r1")
+
+
+# ----------------------------------------------------------------------
+# Interpreter semantics
+# ----------------------------------------------------------------------
+class TestInterpreter:
+    def test_arithmetic(self):
+        _, stream = run_asm("""
+            li r0, 10
+            li r1, 3
+            add r2, r0, r1
+            sub r3, r0, r1
+            mul r4, r0, r1
+            addi r5, r0, -4
+            halt
+        """)
+        assert stream.regs[2] == 13
+        assert stream.regs[3] == 7
+        assert stream.regs[4] == 30
+        assert stream.regs[5] == 6
+
+    def test_wraparound_32bit(self):
+        _, stream = run_asm("""
+            li r0, 0xFFFFFFFF
+            addi r0, r0, 2
+            halt
+        """)
+        assert stream.regs[0] == 1
+
+    def test_load_store_roundtrip(self):
+        _, stream = run_asm("""
+            li r0, 0x100000
+            li r1, 1234
+            st r1, r0, 8
+            ld r2, r0, 8
+            halt
+        """)
+        assert stream.regs[2] == 1234
+
+    def test_loop_and_branches(self):
+        _, stream = run_asm("""
+            li r0, 0       ; sum
+            li r1, 5       ; counter
+            li r2, 0
+        loop:
+            add r0, r0, r1
+            addi r1, r1, -1
+            bne r1, r2, loop
+            halt
+        """)
+        assert stream.regs[0] == 15
+
+    def test_blt(self):
+        _, stream = run_asm("""
+            li r0, 1
+            li r1, 2
+            li r3, 0
+            blt r0, r1, less
+            li r3, 100
+            halt
+        less:
+            li r3, 7
+            halt
+        """)
+        assert stream.regs[3] == 7
+
+    def test_push_pop(self):
+        _, stream = run_asm("""
+            li r0, 11
+            li r1, 22
+            push r0
+            push r1
+            pop r2
+            pop r3
+            halt
+        """)
+        assert stream.regs[2] == 22 and stream.regs[3] == 11
+
+    def test_call_ret(self):
+        _, stream = run_asm("""
+            li r0, 5
+            call double
+            call double
+            halt
+        double:
+            add r0, r0, r0
+            ret
+        """)
+        assert stream.regs[0] == 20
+
+    def test_syscall_traps(self):
+        machine, stream = run_asm("""
+            sys write
+            halt
+        """)
+        assert machine.trace.total(EventKind.SYSCALL) == 1
+
+    def test_spin_consumes_cycles(self):
+        machine, stream = run_asm("""
+            spin 100000
+            halt
+        """)
+        assert machine.kernel.processes[0].exit_time >= 100_000
+
+    def test_load_page_faults_once(self):
+        machine, stream = run_asm("""
+            li r0, 0x100000
+            ld r1, r0, 0
+            ld r2, r0, 4
+            halt
+        """)
+        assert machine.trace.total(EventKind.PAGE_FAULT) == 1
+        assert stream.regs[1] == 0   # demand-zero
+
+    def test_pc_out_of_range(self):
+        machine, proc, data, stack_top = make_env()
+        stream = AsmStream(assemble("nop"), proc, quiet_params(),
+                           stack_top=stack_top)
+        # manually corrupt the PC
+        stream.pc = 99
+        with pytest.raises(InvalidInstructionError):
+            stream.next_op()
+
+    def test_instructions_retired_counted(self):
+        _, stream = run_asm("nop\nnop\nnop\nhalt")
+        assert stream.instructions_retired == 3
+
+
+# ----------------------------------------------------------------------
+# MISP extension at ISA level
+# ----------------------------------------------------------------------
+class TestMISPInstructions:
+    def test_signal_starts_shred_on_ams(self):
+        machine, stream = run_asm("""
+            li r0, 1            ; SID
+            li r1, 0x101000     ; worker stack
+            signal r0, worker, r1
+            spin 200000         ; let the worker run
+            halt
+        worker:
+            li r2, 0x100000
+            li r3, 77
+            st r3, r2, 0        ; proxy-executed page fault
+            halt
+        """, shredded=True)
+        trace = machine.trace
+        assert trace.total(EventKind.SIGNAL_SENT) == 1
+        assert trace.total(EventKind.SHRED_START) == 1
+        assert machine.proxy_stats.page_faults == 1
+
+    def test_worker_result_visible_through_shared_memory(self):
+        machine, stream = run_asm("""
+            li r0, 1
+            li r1, 0x101000
+            li r2, 0x100000
+            li r3, 0
+            st r3, r2, 0        ; make the mailbox resident (OMS fault)
+            signal r0, worker, r1
+            li r4, 99
+        wait:
+            ld r3, r2, 0
+            bne r3, r4, wait
+            halt
+        worker:
+            li r2, 0x100000
+            li r4, 99
+            st r4, r2, 0
+            halt
+        """, shredded=True)
+        assert stream.regs[3] == 99
+
+    def test_yield_conditional_handler(self):
+        # main registers a handler, spins; the worker SIGNALs main
+        # (a busy sequencer) -> asynchronous control transfer
+        machine, stream = run_asm("""
+            li r0, 1
+            li r1, 0x101000
+            ymonitor handler
+            signal r0, worker, r1
+            li r5, 0
+        wait:
+            spin 5000
+            beq r5, r5, check   ; always
+        check:
+            li r4, 1
+            bne r5, r4, wait    ; loop until handler sets r5=1
+            halt
+        handler:
+            li r5, 1            ; observed the ingress signal
+            yret
+        worker:
+            li r0, 0            ; SID 0 = the OMS
+            li r1, 0x101800
+            signal r0, back, r1 ; ingress signal to the busy OMS
+            halt
+        back:
+            halt                ; never used as a continuation
+        """, shredded=True)
+        assert stream.regs[5] == 1
+        assert machine.trace.total(EventKind.YIELD_EVENT) == 1
+
+    def test_yret_outside_handler_rejected(self):
+        with pytest.raises(InvalidInstructionError):
+            run_asm("yret\nhalt")
+
+    def test_signal_continuation_gets_eip_esp(self):
+        machine, proc, data, stack_top = make_env(ams=1)
+        program = assemble("""
+            li r0, 1
+            li r1, 0x200000
+            signal r0, entry, r1
+            spin 100000
+            halt
+        entry:
+            halt
+        """)
+        stream = AsmStream(program, proc, quiet_params(),
+                           stack_top=stack_top)
+        thread = machine.spawn_thread(proc, "m", stream, pinned_cpu=0)
+        thread.is_shredded = True
+        machine.run_to_completion(limit=10**10)
+        ams = machine.processors[0].amss[0]
+        # the AMS ran a continuation built from ⟨EIP=entry, ESP=r1⟩
+        assert machine.trace.total(EventKind.SHRED_END,
+                                   [ams.seq_id]) == 1

@@ -1,0 +1,152 @@
+"""Tests for the 16 evaluation workloads and the run drivers, at small
+scale (scale=0.02) so the whole file stays fast."""
+
+import pytest
+
+from repro.sim.trace import EventKind
+from repro.workloads import REGISTRY, FIGURE4_ORDER, run_1p, run_misp, run_smp
+from repro.workloads import rms, speccomp
+from repro.workloads.base import WorkloadSpec
+
+SCALE = 0.02
+
+_FACTORIES = {
+    "ADAt": rms.make_adat, "dense_mmm": rms.make_dense_mmm,
+    "dense_mvm": rms.make_dense_mvm,
+    "dense_mvm_sym": rms.make_dense_mvm_sym, "gauss": rms.make_gauss,
+    "kmeans": rms.make_kmeans, "sparse_mvm": rms.make_sparse_mvm,
+    "sparse_mvm_sym": rms.make_sparse_mvm_sym,
+    "sparse_mvm_trans": rms.make_sparse_mvm_trans,
+    "svm_c": rms.make_svm_c, "RayTracer": rms.make_raytracer,
+    "swim": lambda scale: speccomp.make_speccomp("swim", scale),
+    "applu": lambda scale: speccomp.make_speccomp("applu", scale),
+    "galgel": lambda scale: speccomp.make_speccomp("galgel", scale),
+    "equake": lambda scale: speccomp.make_speccomp("equake", scale),
+    "art": lambda scale: speccomp.make_speccomp("art", scale),
+}
+
+
+def small(name):
+    return _FACTORIES[name](scale=SCALE)
+
+
+def test_registry_has_all_16():
+    assert set(FIGURE4_ORDER) == set(REGISTRY.names())
+    assert len(FIGURE4_ORDER) == 16
+
+
+def test_registry_suites():
+    assert len(REGISTRY.by_suite("rms")) == 11
+    assert len(REGISTRY.by_suite("speccomp")) == 5
+
+
+def test_registry_unknown():
+    with pytest.raises(KeyError):
+        REGISTRY.get("nope")
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ValueError):
+        REGISTRY.register(REGISTRY.get("gauss"))
+
+
+@pytest.mark.parametrize("name", FIGURE4_ORDER)
+def test_workload_completes_on_misp(name):
+    result = run_misp(small(name), ams_count=3)
+    assert result.runtime.active == 0          # every shred retired
+    assert result.runtime.finished == result.runtime.created
+    assert result.cycles > 0
+    assert result.machine.kernel.all_done
+
+
+@pytest.mark.parametrize("name", ["gauss", "RayTracer", "swim"])
+def test_workload_completes_on_smp_and_1p(name):
+    smp = run_smp(small(name), ncpus=4)
+    base = run_1p(small(name))
+    assert smp.runtime.active == 0 and base.runtime.active == 0
+    assert base.cycles > smp.cycles            # parallelism helps
+
+
+def test_misp_parallelism_beats_1p():
+    spec = _FACTORIES["RayTracer"](scale=0.05)
+    base = run_1p(spec)
+    misp = run_misp(spec, ams_count=7)
+    assert base.cycles / misp.cycles > 3.0
+
+
+class TestEventProfiles:
+    """Table-1-shaped invariants at small scale."""
+
+    def test_init_on_main_faults_on_oms(self):
+        # gauss initializes its grid on the main shred -> OMS faults
+        result = run_misp(small("gauss"), ams_count=3)
+        events = result.serializing_events()
+        assert events["oms_pf"] > 50
+        assert events["ams_pf"] <= 2
+
+    def test_shred_first_touch_faults_on_ams(self):
+        result = run_misp(_FACTORIES["sparse_mvm_sym"](scale=0.2),
+                          ams_count=3)
+        events = result.serializing_events()
+        assert events["ams_pf"] > events["oms_pf"]
+
+    def test_gauss_syscalls_on_oms_only(self):
+        result = run_misp(small("gauss"), ams_count=3)
+        events = result.serializing_events()
+        assert events["oms_syscall"] == 8
+        assert events["ams_syscall"] == 0
+
+    def test_art_has_worker_syscalls(self):
+        result = run_misp(_FACTORIES["art"](scale=0.5), ams_count=3)
+        events = result.serializing_events()
+        # art is the only application with AMS-side syscalls (Table 1)
+        assert events["ams_syscall"] + events["oms_syscall"] > 0
+
+    def test_timers_only_on_oms(self):
+        result = run_misp(small("kmeans"), ams_count=3)
+        trace = result.machine.trace
+        assert trace.total(EventKind.TIMER, result.machine.ams_ids()) == 0
+
+    def test_smp_has_no_proxy_events(self):
+        result = run_smp(small("dense_mmm"), ncpus=4)
+        assert result.machine.proxy_stats.requests == 0
+        assert result.serializing_events()["ams_pf"] == 0
+
+    def test_misp_ams_faults_are_proxied(self):
+        result = run_misp(small("RayTracer"), ams_count=3)
+        events = result.serializing_events()
+        assert result.machine.proxy_stats.requests == (
+            events["ams_pf"] + events["ams_syscall"])
+
+
+class TestRunnerMechanics:
+    def test_main_shred_pinned_to_worker0(self):
+        captured = {}
+
+        def build(api, nworkers):
+            def main():
+                from repro.exec.ops import Compute
+                yield Compute(1000)
+                captured["main"] = api.rt.main_shred
+            return main()
+
+        result = run_misp(WorkloadSpec("t", "micro", build), ams_count=2)
+        assert captured["main"].affinity == 0
+        assert captured["main"].last_worker == 0
+
+    def test_proxy_handler_registered(self):
+        from repro.core.yieldcond import Scenario
+        result = run_misp(small("dense_mvm"), ams_count=2)
+        table = result.machine.processors[0].scenarios
+        assert Scenario.PROXY_REQUEST in table
+
+    def test_smp_spawns_one_thread_per_cpu(self):
+        result = run_smp(small("dense_mvm"), ncpus=4)
+        process = result.main_thread.process
+        assert len(process.threads) == 4
+
+    def test_seed_determinism(self):
+        a = run_misp(small("sparse_mvm"), ams_count=3)
+        b = run_misp(small("sparse_mvm"), ams_count=3)
+        assert a.cycles == b.cycles
+        assert a.serializing_events() == b.serializing_events()
