@@ -9,44 +9,49 @@
    the suspend-on-ring-transition design costs as signaling gets
    cheaper (the ideal-hardware end approximates the speculative
    keep-running alternative sketched in Section 2.3).
+
+Each ablation is a small RunSpec grid: workload-factory kwargs
+(``probe_pages``), the queue policy, and machine params are all spec
+fields, so variants are declared rather than hand-driven, and their
+proxy statistics come back in the RunSummary.
 """
 
 import pytest
 from conftest import run_once
 
+from repro.experiments import RunSpec
 from repro.params import DEFAULT_PARAMS
 from repro.shredlib.runtime import QueuePolicy
-from repro.workloads.rms.raytracer import make_raytracer
-from repro.workloads.rms.sparse import make_sparse_mvm_sym
-from repro.workloads.runner import run_misp
 
 SCALE = 0.25
 
 
-def test_ablation_page_probe(benchmark):
-    def run():
-        plain = run_misp(make_raytracer(scale=SCALE), ams_count=7)
-        probed = run_misp(make_raytracer(scale=SCALE, probe_pages=True),
-                          ams_count=7)
-        return plain, probed
-
-    plain, probed = run_once(benchmark, run)
+def test_ablation_page_probe(benchmark, runner):
+    specs = [
+        RunSpec("RayTracer", "misp", "1x8", scale=SCALE),
+        RunSpec("RayTracer", "misp", "1x8", scale=SCALE,
+                args={"probe_pages": True}),
+    ]
+    plain, probed = run_once(benchmark, lambda: runner.run_many(specs))
     plain_events = plain.serializing_events()
     probed_events = probed.serializing_events()
     print(f"\n  AMS proxy faults: plain={plain_events['ams_pf']} "
           f"probed={probed_events['ams_pf']}")
-    print(f"  proxy requests:   plain={plain.machine.proxy_stats.requests} "
-          f"probed={probed.machine.proxy_stats.requests}")
+    print(f"  proxy requests:   plain={plain.proxy.requests} "
+          f"probed={probed.proxy.requests}")
     # probing converts worker compulsory faults into serial OMS faults
     assert probed_events["ams_pf"] <= plain_events["ams_pf"] // 10
     assert probed_events["oms_pf"] > plain_events["oms_pf"]
 
 
-def test_ablation_queue_policy(benchmark):
+def test_ablation_queue_policy(benchmark, runner):
+    specs = {policy: RunSpec("RayTracer", "misp", "1x8", scale=SCALE,
+                             policy=policy)
+             for policy in (QueuePolicy.FIFO, QueuePolicy.LIFO)}
+
     def run():
-        return {policy: run_misp(make_raytracer(scale=SCALE), ams_count=7,
-                                 policy=policy).cycles
-                for policy in (QueuePolicy.FIFO, QueuePolicy.LIFO)}
+        return {policy: runner.run(spec).cycles
+                for policy, spec in specs.items()}
 
     cycles = run_once(benchmark, run)
     fifo, lifo = cycles[QueuePolicy.FIFO], cycles[QueuePolicy.LIFO]
@@ -57,16 +62,17 @@ def test_ablation_queue_policy(benchmark):
     assert abs(lifo - fifo) / fifo < 0.05
 
 
-def test_ablation_serialization_cost(benchmark):
+def test_ablation_serialization_cost(benchmark, runner):
     """Dynamic cost of suspend-on-ring-transition on a proxy-heavy app."""
-    spec = make_sparse_mvm_sym(scale=SCALE)   # 669 shred-side faults
+    signals = (0, 500, 1000, 5000)
+    # sparse_mvm_sym: 669 shred-side faults
+    sweep = [RunSpec("sparse_mvm_sym", "misp", "1x8", scale=SCALE,
+                     params=DEFAULT_PARAMS.with_changes(signal_cost=signal))
+             for signal in signals]
 
     def run():
-        out = {}
-        for signal in (0, 500, 1000, 5000):
-            params = DEFAULT_PARAMS.with_changes(signal_cost=signal)
-            out[signal] = run_misp(spec, ams_count=7, params=params).cycles
-        return out
+        return dict(zip(signals,
+                        (s.cycles for s in runner.run_many(sweep))))
 
     cycles = run_once(benchmark, run)
     ideal = cycles[0]

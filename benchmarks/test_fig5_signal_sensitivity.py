@@ -6,30 +6,26 @@ Two reproductions of the same claim:
    application's measured event counts for signal in {500, 1000, 5000}
    and report % overhead over ideal (signal = 0) hardware.
 2. **Dynamic** (an ablation the prototype could not do): re-run a
-   workload with the machine's signal cost actually swept, confirming
-   the analytic model against end-to-end runtimes.
+   workload with the machine's signal cost actually swept -- declared
+   as a params-sweep grid of RunSpecs -- confirming the analytic model
+   against end-to-end runtimes.
 """
 
 import pytest
 from conftest import BENCH_SCALE, run_once
 
-from repro.analysis import (
-    FIGURE5_SIGNAL_COSTS, format_figure5, sensitivity_from_run,
-)
-from repro.analysis.figure4 import _spec
+from repro.analysis import FIGURE5_SIGNAL_COSTS, format_figure5, run_figure5
+from repro.experiments import ExperimentSpec, RunSpec
 from repro.params import DEFAULT_PARAMS
-from repro.workloads import FIGURE4_ORDER, run_misp
+from repro.workloads import FIGURE4_ORDER
 
 APPS = FIGURE4_ORDER
 
 
-def test_figure5_analytic(benchmark):
-    def run():
-        runs = {name: run_misp(_spec(name, BENCH_SCALE), ams_count=7)
-                for name in APPS}
-        return [sensitivity_from_run(runs[name]) for name in APPS]
-
-    rows = run_once(benchmark, run)
+def test_figure5_analytic(benchmark, runner):
+    rows = run_once(benchmark,
+                    lambda: run_figure5(APPS, scale=BENCH_SCALE,
+                                        runner=runner))
     print()
     print(format_figure5(rows))
     for row in rows:
@@ -41,17 +37,19 @@ def test_figure5_analytic(benchmark):
         assert row.overheads_decompressed[-1] < 0.02
 
 
-def test_figure5_dynamic_sweep(benchmark):
+def test_figure5_dynamic_sweep(benchmark, runner):
     """End-to-end: sweep the machine's actual signal cost on kmeans
     (the paper's worst case)."""
-    spec = _spec("kmeans", BENCH_SCALE)
+    signals = (0,) + FIGURE5_SIGNAL_COSTS
+    sweep = ExperimentSpec("fig5-sweep", tuple(
+        RunSpec("kmeans", "misp", "1x8", scale=BENCH_SCALE,
+                params=DEFAULT_PARAMS.with_changes(signal_cost=signal))
+        for signal in signals))
 
     def run():
-        out = {}
-        for signal in (0,) + FIGURE5_SIGNAL_COSTS:
-            params = DEFAULT_PARAMS.with_changes(signal_cost=signal)
-            out[signal] = run_misp(spec, ams_count=7, params=params).cycles
-        return out
+        result = runner.run_experiment(sweep)
+        return {spec.params.signal_cost: result[spec].cycles
+                for spec in sweep.runs}
 
     cycles = run_once(benchmark, run)
     ideal = cycles[0]

@@ -2,9 +2,12 @@
 
 Regenerates all nine series (ideal, smp, 4x2, 2x4, 1x8, 1x7+1, 1x6+2,
 1x5+3, 1x4+4): RayTracer's speedup vs unloaded as 0..4 single-threaded
-processes are added.  Asserts the paper's Section 5.4 findings: 1x8
-degrades nearly linearly, more MISP processors flatten the curve, and
-the per-load ideal partition stays at 1.0.
+processes are added.  The 45-point sweep is declared as a ``configs x
+loads`` grid; the Runner executes the points in parallel worker
+processes and folds the "ideal" series onto the identically
+partitioned fixed-series runs.  Asserts the paper's Section 5.4
+findings: 1x8 degrades nearly linearly, more MISP processors flatten
+the curve, and the per-load ideal partition stays at 1.0.
 """
 
 import pytest
@@ -13,11 +16,13 @@ from conftest import FIG7_RT_SCALE, run_once
 from repro.analysis import FIGURE7_SERIES, format_figure7, run_figure7
 
 
-def test_figure7(benchmark):
+def test_figure7(benchmark, runner):
     result = run_once(
-        benchmark, lambda: run_figure7(rt_scale=FIG7_RT_SCALE))
+        benchmark, lambda: run_figure7(rt_scale=FIG7_RT_SCALE,
+                                       runner=runner))
     print()
     print(format_figure7(result))
+    print(f"  [runner: {runner.stats}]")
 
     one_x8 = result.curve("1x8")
     # "the performance of RayTracer decreases nearly linearly"
@@ -48,3 +53,7 @@ def test_figure7(benchmark):
         curve = result.curve(config)
         for a, b in zip(curve, curve[1:]):
             assert b <= a + 0.05
+
+    # the ideal series dedups onto the fixed-partition grid: 9 series
+    # x 5 loads declare 50 specs but at most 45 unique simulations
+    assert runner.stats.executed <= 45

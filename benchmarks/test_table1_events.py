@@ -1,29 +1,24 @@
 """Table 1 — serializing events per application on MISP (1 OMS + 7 AMS).
 
 Regenerates the table's six columns (OMS SysCall / PF / Timer /
-Interrupt, AMS SysCall / PF) from fresh MISP runs and prints them next
-to the paper's reference counts (SPEComp at the proxies' documented
-1/50 event scale).  Structural counts (syscalls, page profiles) are
-asserted against the paper; time-coupled counts (Timer, Interrupt)
-scale with REPRO_BENCH_SCALE and are asserted as ratios.
+Interrupt, AMS SysCall / PF) from the declared MISP grid and prints
+them next to the paper's reference counts (SPEComp at the proxies'
+documented 1/50 event scale).  Structural counts (syscalls, page
+profiles) are asserted against the paper; time-coupled counts (Timer,
+Interrupt) scale with REPRO_BENCH_SCALE and are asserted as ratios.
 """
 
 import pytest
 from conftest import BENCH_SCALE, run_once
 
-from repro.analysis import format_table1, measured_row, paper_row_scaled
-from repro.analysis.figure4 import _spec
-from repro.workloads import FIGURE4_ORDER, run_misp
+from repro.analysis import format_table1, run_table1
+from repro.workloads import FIGURE4_ORDER
 
 
-def _run_all():
-    return {name: run_misp(_spec(name, BENCH_SCALE), ams_count=7)
-            for name in FIGURE4_ORDER}
-
-
-def test_table1(benchmark):
-    runs = run_once(benchmark, _run_all)
-    rows = [measured_row(runs[name]) for name in FIGURE4_ORDER]
+def test_table1(benchmark, runner):
+    rows = run_once(benchmark,
+                    lambda: run_table1(FIGURE4_ORDER, scale=BENCH_SCALE,
+                                       runner=runner))
     print()
     print(format_table1(rows))
 

@@ -2,22 +2,25 @@
 
 Ports every legacy application (written purely against the
 Pthreads/Win32 APIs) through ShredLib's thread-to-shred shims, runs
-each on the MISP machine, and prints the porting table.  Also
-reproduces the Open Dynamics Engine finding: the naive port wastes the
-AMSs while the main thread sleeps in the OS; the paper's structural
-fix (a native I/O thread) recovers the loss.
+each on the MISP machine via the declared porting grid, and prints the
+table.  Also reproduces the Open Dynamics Engine finding: the naive
+port wastes the AMSs while the main thread sleeps in the OS; the
+paper's structural fix (a native I/O thread) recovers the loss -- and
+because the ODE runs are grid members too, the speedup is computed
+from memoized summaries, not fresh simulations.
 """
 
 from conftest import run_once
 
 from repro.analysis import format_table2, run_table2
-from repro.analysis.table2 import ode_restructuring_speedup
+from repro.analysis.table2 import ode_restructuring_speedup, table2_experiment
 from repro.workloads.legacy import make_ode_like
-from repro.workloads.runner import run_misp, run_smp
+from repro.workloads.runner import run_smp
 
 
-def test_table2_ports(benchmark):
-    rows = run_once(benchmark, lambda: run_table2(ams_count=7))
+def test_table2_ports(benchmark, runner):
+    rows = run_once(benchmark, lambda: run_table2(ams_count=7,
+                                                  runner=runner))
     print()
     print(format_table2(rows))
     for row in rows:
@@ -29,18 +32,14 @@ def test_table2_ports(benchmark):
     assert smp.runtime.active == 0
 
 
-def test_table2_ode_restructuring(benchmark):
-    def run():
-        naive = run_misp(make_ode_like(restructured=False), ams_count=7)
-        fixed = run_misp(make_ode_like(restructured=True), ams_count=7)
-        return naive, fixed
-
-    naive, fixed = run_once(benchmark, run)
-    speedup = naive.cycles / fixed.cycles
-    ams_available = lambda r: 1 - (
-        sum(s.suspended_cycles for s in r.machine.sequencers
-            if not s.is_oms) / (7 * r.cycles))
+def test_table2_ode_restructuring(benchmark, runner):
+    speedup = run_once(
+        benchmark, lambda: ode_restructuring_speedup(ams_count=7,
+                                                     runner=runner))
+    naive, fixed = runner.run_many(table2_experiment(ams_count=7).runs[-2:])
     print(f"\n  naive: {naive.cycles:,} cycles; "
           f"restructured: {fixed.cycles:,} cycles; "
           f"speedup {speedup:.2f}x")
     assert speedup > 1.25
+    # the second lookup was served from the Runner's memo
+    assert runner.stats.memo_hits >= 2

@@ -17,6 +17,15 @@ Quick start::
     base = run_1p(workload)
     misp = run_misp(workload, ams_count=7)
     print("speedup:", base.cycles / misp.cycles)
+
+Whole experiment grids (with shared-run deduplication, parallel
+execution, and on-disk caching) go through :mod:`repro.experiments`::
+
+    from repro.experiments import ExperimentSpec, Runner
+
+    exp = ExperimentSpec.grid("demo", ["RayTracer"], scale=0.1)
+    for summary in Runner().run_experiment(exp).summaries():
+        print(summary.system, summary.cycles)
 """
 
 from repro.errors import ReproError

@@ -1,27 +1,41 @@
-"""Evaluation harness: regenerates every table and figure of Section 5."""
+"""Evaluation harness: regenerates every table and figure of Section 5.
+
+Every driver declares its run grid as a
+:class:`repro.experiments.ExperimentSpec` and consumes plain-data
+:class:`repro.experiments.RunSummary` values from a
+:class:`repro.experiments.Runner` -- by default the process-wide
+shared runner, so runs common to several artifacts (the MISP runs
+behind Figure 4, Figure 5, and Table 1) simulate exactly once.
+"""
 
 from repro.analysis.figure4 import (
-    Figure4Result, SpeedupRow, format_figure4, run_figure4,
+    Figure4Result, SpeedupRow, figure4_experiment, format_figure4,
+    run_figure4,
 )
 from repro.analysis.figure5 import (
-    FIGURE5_SIGNAL_COSTS, SensitivityRow, format_figure5,
-    sensitivity_from_run,
+    FIGURE5_SIGNAL_COSTS, SensitivityRow, figure5_experiment,
+    format_figure5, run_figure5, sensitivity_from_run,
 )
 from repro.analysis.figure7 import (
-    FIGURE7_SERIES, Figure7Result, format_figure7, run_figure7,
+    FIGURE7_SERIES, Figure7Result, figure7_experiment, format_figure7,
+    run_figure7,
 )
 from repro.analysis.table1 import (
     PAPER_TABLE1, EventRow, format_table1, measured_row, paper_row_scaled,
+    run_table1, table1_experiment,
 )
 from repro.analysis.table2 import (
     PortRow, format_table2, ode_restructuring_speedup, run_table2,
+    table2_experiment,
 )
 
 __all__ = [
-    "Figure4Result", "SpeedupRow", "format_figure4", "run_figure4",
-    "FIGURE5_SIGNAL_COSTS", "SensitivityRow", "format_figure5",
+    "Figure4Result", "SpeedupRow", "figure4_experiment", "format_figure4",
+    "run_figure4", "FIGURE5_SIGNAL_COSTS", "SensitivityRow",
+    "figure5_experiment", "format_figure5", "run_figure5",
     "sensitivity_from_run", "FIGURE7_SERIES", "Figure7Result",
-    "format_figure7", "run_figure7", "PAPER_TABLE1", "EventRow",
-    "format_table1", "measured_row", "paper_row_scaled", "PortRow",
-    "format_table2", "ode_restructuring_speedup", "run_table2",
+    "figure7_experiment", "format_figure7", "run_figure7", "PAPER_TABLE1",
+    "EventRow", "format_table1", "measured_row", "paper_row_scaled",
+    "run_table1", "table1_experiment", "PortRow", "format_table2",
+    "ode_restructuring_speedup", "run_table2", "table2_experiment",
 ]

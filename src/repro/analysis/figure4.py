@@ -9,6 +9,10 @@ The companion text also gives the two summary statistics this module
 computes: "The RMS applications perform, on average, 1.5% slower on
 MISP than their performance on the SMP system, while the SPEComp
 applications perform, on average, 1.9% faster on MISP."
+
+The experiment is declared as a ``workloads x {1p, misp, smp}`` grid
+over :mod:`repro.experiments`; the Runner deduplicates runs shared
+with Table 1 / Figure 5 and executes grid members in parallel.
 """
 
 from __future__ import annotations
@@ -16,9 +20,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro.core.notation import config_name
+from repro.experiments import (
+    ExperimentSpec, Runner, RunSpec, RunSummary, default_runner,
+)
 from repro.params import DEFAULT_PARAMS, MachineParams
-from repro.workloads.base import REGISTRY, WorkloadSpec
-from repro.workloads.runner import RunResult, run_1p, run_misp, run_smp
+from repro.workloads.base import REGISTRY
+
+#: AMS count of the paper's MISP uniprocessor prototype (1 OMS + 7 AMS)
+DEFAULT_AMS_COUNT = 7
 
 
 @dataclass(frozen=True)
@@ -48,8 +58,8 @@ class SpeedupRow:
 @dataclass
 class Figure4Result:
     rows: list[SpeedupRow]
-    #: full run records for further analysis (Table 1, Figure 5)
-    misp_runs: dict[str, RunResult]
+    #: MISP run summaries for further analysis (Table 1, Figure 5)
+    misp_summaries: dict[str, RunSummary]
 
     def row(self, workload: str) -> SpeedupRow:
         for row in self.rows:
@@ -65,45 +75,51 @@ class Figure4Result:
         return sum(deltas) / len(deltas)
 
 
+def _systems(ams_count: int) -> tuple[tuple[str, str], ...]:
+    return (("1p", "smp1"),
+            ("misp", config_name([ams_count])),
+            ("smp", f"smp{ams_count + 1}"))
+
+
+def figure4_experiment(workload_names: Sequence[str],
+                       ams_count: int = DEFAULT_AMS_COUNT,
+                       params: MachineParams = DEFAULT_PARAMS,
+                       scale: Optional[float] = None) -> ExperimentSpec:
+    """Declare the Figure 4 grid: each workload on 1P, MISP, and SMP."""
+    return ExperimentSpec.grid("figure4", workload_names,
+                               systems=_systems(ams_count),
+                               scale=scale, params=params)
+
+
 def run_figure4(workload_names: Sequence[str],
-                ams_count: int = 7,
+                ams_count: int = DEFAULT_AMS_COUNT,
                 params: MachineParams = DEFAULT_PARAMS,
-                scale: Optional[float] = None) -> Figure4Result:
+                scale: Optional[float] = None,
+                runner: Optional[Runner] = None) -> Figure4Result:
     """Execute the Figure 4 experiment for the named workloads.
 
     ``scale`` rebuilds each workload scaled (for fast CI runs); the
     default uses the registered full-size specs.
     """
+    runner = runner or default_runner()
+    result = runner.run_experiment(
+        figure4_experiment(workload_names, ams_count, params, scale))
+    spec_1p, spec_misp, spec_smp = _systems(ams_count)
     rows: list[SpeedupRow] = []
-    misp_runs: dict[str, RunResult] = {}
-    ncpus = ams_count + 1
+    misp_summaries: dict[str, RunSummary] = {}
     for name in workload_names:
-        spec = _spec(name, scale)
-        r1 = run_1p(spec, params=params)
-        rm = run_misp(spec, ams_count=ams_count, params=params)
-        rs = run_smp(spec, ncpus=ncpus, params=params)
-        rows.append(SpeedupRow(name, spec.suite, r1.cycles, rm.cycles,
-                               rs.cycles))
-        misp_runs[name] = rm
-    return Figure4Result(rows, misp_runs)
-
-
-def _spec(name: str, scale: Optional[float]) -> WorkloadSpec:
-    if scale is None:
-        return REGISTRY.get(name)
-    from repro.workloads import rms, speccomp
-    factories = {
-        "ADAt": rms.make_adat, "dense_mmm": rms.make_dense_mmm,
-        "dense_mvm": rms.make_dense_mvm,
-        "dense_mvm_sym": rms.make_dense_mvm_sym, "gauss": rms.make_gauss,
-        "kmeans": rms.make_kmeans, "sparse_mvm": rms.make_sparse_mvm,
-        "sparse_mvm_sym": rms.make_sparse_mvm_sym,
-        "sparse_mvm_trans": rms.make_sparse_mvm_trans,
-        "svm_c": rms.make_svm_c, "RayTracer": rms.make_raytracer,
-    }
-    if name in factories:
-        return factories[name](scale=scale)
-    return speccomp.make_speccomp(name, scale=scale)
+        suite = REGISTRY.get(name).suite
+        per_system = {
+            system: result[RunSpec(name, system, config, scale=scale,
+                                   params=params)]
+            for system, config in (spec_1p, spec_misp, spec_smp)
+        }
+        rows.append(SpeedupRow(name, suite,
+                               per_system["1p"].cycles,
+                               per_system["misp"].cycles,
+                               per_system["smp"].cycles))
+        misp_summaries[name] = per_system["misp"]
+    return Figure4Result(rows, misp_summaries)
 
 
 def format_figure4(result: Figure4Result) -> str:

@@ -21,9 +21,13 @@ cost are invariant either way.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence, Union
 
+from repro.analysis.figure4 import DEFAULT_AMS_COUNT
 from repro.core.overhead import SignalSensitivity
+from repro.experiments import (
+    ExperimentSpec, Runner, RunSummary, default_runner,
+)
 from repro.params import DEFAULT_PARAMS, MachineParams
 from repro.workloads.runner import RunResult
 
@@ -48,11 +52,15 @@ class SensitivityRow:
     overheads_decompressed: tuple[float, ...]
 
 
-def sensitivity_from_run(result: RunResult,
+def sensitivity_from_run(result: Union[RunResult, RunSummary],
                          params: MachineParams = DEFAULT_PARAMS,
                          signal_costs: Sequence[int] = FIGURE5_SIGNAL_COSTS,
                          ) -> SensitivityRow:
-    """Apply the Section 5.1 model to one MISP run's event counts."""
+    """Apply the Section 5.1 model to one MISP run's event counts.
+
+    Accepts either a live :class:`RunResult` or a plain-data
+    :class:`RunSummary` from the experiment Runner.
+    """
     events = result.serializing_events()
     oms_events = (events["oms_syscall"] + events["oms_pf"]
                   + events["oms_timer"] + events["oms_interrupt"])
@@ -74,6 +82,33 @@ def sensitivity_from_run(result: RunResult,
                           for s in signal_costs)
     return SensitivityRow(result.workload, oms_events, ams_events, ideal,
                           overheads, overheads_dec)
+
+
+def figure5_experiment(workload_names: Sequence[str],
+                       ams_count: int = DEFAULT_AMS_COUNT,
+                       params: MachineParams = DEFAULT_PARAMS,
+                       scale: Optional[float] = None) -> ExperimentSpec:
+    """Declare the Figure 5 grid: one MISP run per workload (the same
+    runs Figure 4 and Table 1 consume, so a shared Runner deduplicates
+    them)."""
+    from repro.analysis.figure4 import figure4_experiment
+    grid = figure4_experiment(workload_names, ams_count, params, scale)
+    return ExperimentSpec(
+        "figure5", tuple(s for s in grid.runs if s.system == "misp"))
+
+
+def run_figure5(workload_names: Sequence[str],
+                ams_count: int = DEFAULT_AMS_COUNT,
+                params: MachineParams = DEFAULT_PARAMS,
+                scale: Optional[float] = None,
+                signal_costs: Sequence[int] = FIGURE5_SIGNAL_COSTS,
+                runner: Optional[Runner] = None) -> list[SensitivityRow]:
+    """Run the MISP grid and model each workload's signal sensitivity."""
+    runner = runner or default_runner()
+    exp = figure5_experiment(workload_names, ams_count, params, scale)
+    summaries = runner.run_many(exp.runs)
+    return [sensitivity_from_run(s, params, signal_costs)
+            for s in summaries]
 
 
 def format_figure5(rows: Sequence[SensitivityRow],

@@ -9,19 +9,34 @@ linearly" because every background process time-shares the single OMS
 and idles the AMSs; adding MISP processors (2x4, 4x2) flattens the
 curve; the per-load ideal partition (background processes on AMS-less
 OMSs) stays at 1.0.
+
+The 45-point sweep is declared as a ``configs x loads`` grid over
+:mod:`repro.experiments`.  Declaring it (instead of looping over
+:func:`~repro.workloads.multiprog.run_multiprogram`) buys two things:
+grid members run in parallel worker processes, and the "ideal" series
+resolves each load to its explicit partition (``1x(8-N)+N``), so its
+points are deduplicated against the identically configured members of
+the fixed-partition series.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
+from repro.core.notation import config_name, ideal_config_for_load
+from repro.experiments import (
+    FIGURE7_SEQUENCERS, ExperimentSpec, Runner, RunSpec, default_runner,
+)
 from repro.params import DEFAULT_PARAMS, MachineParams
-from repro.workloads.multiprog import DEFAULT_RT_SCALE, speedup_curve
+from repro.workloads.multiprog import DEFAULT_RT_SCALE
 
 #: series plotted in Figure 7, in legend order
 FIGURE7_SERIES = ["ideal", "smp", "4x2", "2x4", "1x8",
                   "1x7+1", "1x6+2", "1x5+3", "1x4+4"]
+
+#: the workload whose throughput the figure measures
+FIGURE7_WORKLOAD = "RayTracer"
 
 
 @dataclass(frozen=True)
@@ -34,13 +49,66 @@ class Figure7Result:
         return self.curves[config]
 
 
+def _mp_spec(config: str, load: int, rt_scale: float,
+             params: MachineParams) -> RunSpec:
+    return RunSpec(FIGURE7_WORKLOAD, "multiprog", config, scale=rt_scale,
+                   background=load, params=params)
+
+
+def _ideal_partition(load: int) -> str:
+    return config_name(ideal_config_for_load(FIGURE7_SEQUENCERS, load))
+
+
+def figure7_experiment(series: Sequence[str] = FIGURE7_SERIES,
+                       loads: Sequence[int] = range(5),
+                       rt_scale: float = DEFAULT_RT_SCALE,
+                       params: MachineParams = DEFAULT_PARAMS
+                       ) -> ExperimentSpec:
+    """Declare the Figure 7 grid: every (config, load) point, plus the
+    per-load unloaded baselines the "ideal" series normalizes to."""
+    runs: list[RunSpec] = []
+    for config in series:
+        for load in loads:
+            runs.append(_mp_spec(config, load, rt_scale, params))
+            if config == "ideal":
+                # the ideal series re-baselines per point: the same
+                # partition, unloaded
+                runs.append(_mp_spec(_ideal_partition(load), 0,
+                                     rt_scale, params))
+    return ExperimentSpec("figure7", tuple(runs))
+
+
 def run_figure7(series: Sequence[str] = FIGURE7_SERIES,
                 loads: Sequence[int] = range(5),
                 rt_scale: float = DEFAULT_RT_SCALE,
-                params: MachineParams = DEFAULT_PARAMS) -> Figure7Result:
-    curves = {config: speedup_curve(config, loads, rt_scale, params)
-              for config in series}
-    return Figure7Result(tuple(loads), curves)
+                params: MachineParams = DEFAULT_PARAMS,
+                runner: Optional[Runner] = None) -> Figure7Result:
+    loads = tuple(loads)
+    runner = runner or default_runner()
+    result = runner.run_experiment(
+        figure7_experiment(series, loads, rt_scale, params))
+
+    curves: dict[str, list[float]] = {}
+    for config in series:
+        if config == "ideal":
+            # normalized per point to the same partition running
+            # unloaded: background processes on their own AMS-less
+            # OMSs leave RayTracer at 1.0
+            curve = []
+            for load in loads:
+                loaded = result[_mp_spec(config, load, rt_scale, params)]
+                unloaded = result[_mp_spec(_ideal_partition(load), 0,
+                                           rt_scale, params)]
+                curve.append(unloaded.cycles / loaded.cycles)
+        else:
+            # every fixed curve is normalized to its own first point
+            base = result[_mp_spec(config, loads[0], rt_scale,
+                                   params)].cycles
+            curve = [base / result[_mp_spec(config, load, rt_scale,
+                                            params)].cycles
+                     for load in loads]
+        curves[config] = curve
+    return Figure7Result(loads, curves)
 
 
 def format_figure7(result: Figure7Result) -> str:

@@ -2,8 +2,11 @@
 
 ``python -m repro.analysis.report`` runs the full Section 5 evaluation
 (Figure 4, Table 1, Figure 5, Figure 6, Figure 7, Table 2) and prints
-the paper-shaped artifacts.  Individual pieces can be run through the
-benchmarks/ harness instead; this module is the human-readable driver.
+the paper-shaped artifacts.  All experiments flow through one shared
+:class:`repro.experiments.Runner`, so runs common to several artifacts
+simulate once, grid members execute in parallel worker processes, and
+(with ``--cache-dir``) a re-invocation is served from the on-disk
+cache.
 """
 
 from __future__ import annotations
@@ -14,13 +17,14 @@ import time
 from typing import Optional, Sequence
 
 from repro.analysis.figure4 import format_figure4, run_figure4
-from repro.analysis.figure5 import format_figure5, sensitivity_from_run
-from repro.analysis.figure7 import FIGURE7_SERIES, format_figure7, run_figure7
-from repro.analysis.table1 import format_table1, measured_row
+from repro.analysis.figure5 import format_figure5, run_figure5
+from repro.analysis.figure7 import format_figure7, run_figure7
+from repro.analysis.table1 import format_table1, run_table1
 from repro.analysis.table2 import (
     format_table2, ode_restructuring_speedup, run_table2,
 )
-from repro.core.mp import FIGURE6_CONFIGS, config_name, parse_config
+from repro.core.notation import FIGURE6_CONFIGS, config_name, parse_config
+from repro.experiments import Runner, default_runner
 
 
 def figure6_text() -> str:
@@ -37,9 +41,11 @@ def figure6_text() -> str:
 def full_report(workloads: Optional[Sequence[str]] = None,
                 scale: Optional[float] = None,
                 rt_scale: float = 0.15,
+                runner: Optional[Runner] = None,
                 stream=sys.stdout) -> None:
     from repro.workloads import FIGURE4_ORDER
     names = list(workloads or FIGURE4_ORDER)
+    runner = runner or default_runner()
 
     def emit(text: str) -> None:
         print(text, file=stream)
@@ -51,28 +57,28 @@ def full_report(workloads: Optional[Sequence[str]] = None,
     emit("=" * 70)
 
     emit("\n--- Figure 4: speedup vs 1P (MISP 1x8 vs SMP 8-way) ---")
-    fig4 = run_figure4(names, scale=scale)
+    fig4 = run_figure4(names, scale=scale, runner=runner)
     emit(format_figure4(fig4))
 
     emit("\n--- Table 1: serializing events (MISP 1x8) ---")
-    rows = [measured_row(fig4.misp_runs[name]) for name in names]
-    emit(format_table1(rows))
+    emit(format_table1(run_table1(names, scale=scale, runner=runner)))
 
     emit("\n--- Figure 5: sensitivity to signal cost ---")
-    sens = [sensitivity_from_run(fig4.misp_runs[name]) for name in names]
-    emit(format_figure5(sens))
+    emit(format_figure5(run_figure5(names, scale=scale, runner=runner)))
 
     emit("\n--- " + figure6_text())
 
     emit("\n--- Figure 7: MP throughput under multiprogramming ---")
-    fig7 = run_figure7(rt_scale=rt_scale)
+    fig7 = run_figure7(rt_scale=rt_scale, runner=runner)
     emit(format_figure7(fig7))
 
     emit("\n--- Table 2: porting legacy applications ---")
-    emit(format_table2(run_table2()))
-    emit(f"ODE restructuring speedup: {ode_restructuring_speedup():.2f}x")
+    emit(format_table2(run_table2(runner=runner)))
+    speedup = ode_restructuring_speedup(runner=runner)
+    emit(f"ODE restructuring speedup: {speedup:.2f}x")
 
-    emit(f"\n[report completed in {time.time() - t0:.1f}s]")
+    emit(f"\n[report completed in {time.time() - t0:.1f}s; "
+         f"runs: {runner.stats}]")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -83,8 +89,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="RayTracer scale for Figure 7")
     parser.add_argument("--workloads", nargs="*", default=None,
                         help="subset of workloads to run")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="parallel worker processes (default: cores)")
+    parser.add_argument("--serial", action="store_true",
+                        help="run everything in-process, serially")
+    parser.add_argument("--cache-dir", default=None,
+                        help="on-disk run cache (incremental re-runs)")
     args = parser.parse_args(argv)
-    full_report(args.workloads, args.scale, args.rt_scale)
+    runner = Runner(cache_dir=args.cache_dir, max_workers=args.jobs,
+                    parallel=not args.serial)
+    full_report(args.workloads, args.scale, args.rt_scale, runner=runner)
     return 0
 
 

@@ -15,8 +15,13 @@ the proxies' 1/50 event scale; see
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence, Union
 
+from repro.analysis.figure4 import DEFAULT_AMS_COUNT
+from repro.experiments import (
+    ExperimentSpec, Runner, RunSummary, default_runner,
+)
+from repro.params import DEFAULT_PARAMS, MachineParams
 from repro.workloads.runner import RunResult
 from repro.workloads.speccomp import EVENT_SCALE
 
@@ -67,13 +72,35 @@ PAPER_TABLE1 = {
 _SPECCOMP = {"swim", "applu", "galgel", "equake", "art"}
 
 
-def measured_row(result: RunResult) -> EventRow:
-    """Extract the Table 1 row from one MISP run."""
+def measured_row(result: Union[RunResult, RunSummary]) -> EventRow:
+    """Extract the Table 1 row from one MISP run (live result or
+    plain-data summary)."""
     events = result.serializing_events()
     return EventRow(result.workload, events["oms_syscall"],
                     events["oms_pf"], events["oms_timer"],
                     events["oms_interrupt"], events["ams_syscall"],
                     events["ams_pf"])
+
+
+def table1_experiment(workload_names: Sequence[str],
+                      ams_count: int = DEFAULT_AMS_COUNT,
+                      params: MachineParams = DEFAULT_PARAMS,
+                      scale: Optional[float] = None) -> ExperimentSpec:
+    """Declare the Table 1 grid: one MISP run per workload."""
+    from repro.analysis.figure5 import figure5_experiment
+    grid = figure5_experiment(workload_names, ams_count, params, scale)
+    return ExperimentSpec("table1", grid.runs)
+
+
+def run_table1(workload_names: Sequence[str],
+               ams_count: int = DEFAULT_AMS_COUNT,
+               params: MachineParams = DEFAULT_PARAMS,
+               scale: Optional[float] = None,
+               runner: Optional[Runner] = None) -> list[EventRow]:
+    """Run the MISP grid and extract each workload's Table 1 row."""
+    runner = runner or default_runner()
+    exp = table1_experiment(workload_names, ams_count, params, scale)
+    return [measured_row(s) for s in runner.run_many(exp.runs)]
 
 
 def paper_row_scaled(workload: str) -> Optional[EventRow]:

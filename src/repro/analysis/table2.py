@@ -18,6 +18,11 @@ The measurable claims we reproduce:
   because its main thread sleeps waiting for input; the naive and
   restructured ports are both run and the speedup of the
   restructuring is reported.
+
+The legacy apps are registered in the workload registry, so the ports
+are declared as ordinary :class:`RunSpec` grid members; the shim's
+translation counter and the joined-shred check travel back in the
+:class:`~repro.experiments.RunSummary`.
 """
 
 from __future__ import annotations
@@ -26,9 +31,13 @@ import inspect
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.analysis.figure4 import DEFAULT_AMS_COUNT
+from repro.core.notation import config_name
+from repro.experiments import (
+    ExperimentSpec, Runner, RunSpec, default_runner,
+)
 from repro.params import DEFAULT_PARAMS, MachineParams
 from repro.workloads.legacy import apps
-from repro.workloads.runner import run_misp
 
 
 @dataclass(frozen=True)
@@ -60,53 +69,64 @@ def _source_lines(fn: Callable) -> int:
     return len(inspect.getsource(fn).splitlines())
 
 
+#: registry name, legacy API kind, unmodified source function
 _APPS = [
-    ("thread_checker_like", "pthreads", apps.make_thread_checker_like,
-     apps.thread_checker_like),
-    ("lame_mt", "pthreads", apps.make_lame_mt, apps.lame_mt),
-    ("media_encoder", "win32", apps.make_media_encoder, apps.media_encoder),
-    ("jrockit_like", "pthreads", apps.make_jrockit_like, apps.jrockit_like),
-    ("ode_like_naive", "pthreads",
-     lambda: apps.make_ode_like(restructured=False), apps.ode_like),
-    ("ode_like_restructured", "pthreads",
-     lambda: apps.make_ode_like(restructured=True), apps.ode_like),
+    ("thread_checker_like", "pthreads", apps.thread_checker_like),
+    ("lame_mt", "pthreads", apps.lame_mt),
+    ("media_encoder", "win32", apps.media_encoder),
+    ("jrockit_like", "pthreads", apps.jrockit_like),
+    ("ode_like_naive", "pthreads", apps.ode_like),
+    ("ode_like_restructured", "pthreads", apps.ode_like),
 ]
 
 
-def run_table2(ams_count: int = 7,
-               params: MachineParams = DEFAULT_PARAMS) -> list[PortRow]:
+def _port_spec(name: str, ams_count: int,
+               params: MachineParams) -> RunSpec:
+    return RunSpec(name, "misp", config_name([ams_count]), params=params)
+
+
+def table2_experiment(ams_count: int = DEFAULT_AMS_COUNT,
+                      params: MachineParams = DEFAULT_PARAMS
+                      ) -> ExperimentSpec:
+    """Declare the porting grid: every legacy app on the MISP machine."""
+    return ExperimentSpec("table2", tuple(
+        _port_spec(name, ams_count, params) for name, _, _ in _APPS))
+
+
+def run_table2(ams_count: int = DEFAULT_AMS_COUNT,
+               params: MachineParams = DEFAULT_PARAMS,
+               runner: Optional[Runner] = None) -> list[PortRow]:
     """Port and run every legacy application on the MISP machine."""
+    runner = runner or default_runner()
+    result = runner.run_experiment(table2_experiment(ams_count, params))
     rows: list[PortRow] = []
-    for name, api_kind, factory, source_fn in _APPS:
-        spec = factory()
-        result = run_misp(spec, ams_count=ams_count, params=params)
-        shim_counter = _translated_calls(result)
+    for name, api_kind, source_fn in _APPS:
+        summary = result[_port_spec(name, ams_count, params)]
         rows.append(PortRow(
             application=name, api=api_kind,
             paper_effort_days=PAPER_EFFORT_DAYS[name],
             source_lines=_source_lines(source_fn),
             lines_changed=1,
-            api_calls_translated=shim_counter,
-            misp_cycles=result.cycles,
-            ran_correctly=result.runtime.active == 0,
+            api_calls_translated=summary.legacy_calls_translated,
+            misp_cycles=summary.cycles,
+            ran_correctly=summary.shreds_unjoined == 0,
         ))
     return rows
 
 
-def _translated_calls(result) -> int:
-    """Read the shim's translation counter from the finished run."""
-    shim = getattr(result.runtime, "legacy_shim", None)
-    return shim.calls_translated if shim is not None else 0
+def ode_restructuring_speedup(ams_count: int = DEFAULT_AMS_COUNT,
+                              params: MachineParams = DEFAULT_PARAMS,
+                              runner: Optional[Runner] = None) -> float:
+    """Speedup of the ODE structural fix (Section 5.5's one code change).
 
-
-def ode_restructuring_speedup(ams_count: int = 7,
-                              params: MachineParams = DEFAULT_PARAMS
-                              ) -> float:
-    """Speedup of the ODE structural fix (Section 5.5's one code change)."""
-    naive = run_misp(apps.make_ode_like(restructured=False),
-                     ams_count=ams_count, params=params)
-    fixed = run_misp(apps.make_ode_like(restructured=True),
-                     ams_count=ams_count, params=params)
+    With a shared Runner both runs are memo hits after
+    :func:`run_table2`.
+    """
+    runner = runner or default_runner()
+    naive, fixed = runner.run_many([
+        _port_spec("ode_like_naive", ams_count, params),
+        _port_spec("ode_like_restructured", ams_count, params),
+    ])
     return naive.cycles / fixed.cycles
 
 

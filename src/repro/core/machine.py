@@ -31,6 +31,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Iterator, Optional, Sequence
 
+from repro.core.notation import config_name
 from repro.core.processor import MISPProcessor
 from repro.core.proxy import ProxyKind, ProxyRequest, ProxyStats
 from repro.core.sequencer import Sequencer, SequencerRole
@@ -104,17 +105,7 @@ class Machine:
 
     def describe(self) -> str:
         """Configuration string in the paper's Figure 6 notation."""
-        groups = [p.num_sequencers for p in self.processors]
-        plain = sum(1 for g in groups if g == 1)
-        misp = [g for g in groups if g > 1]
-        parts = []
-        if misp:
-            from collections import Counter
-            for size, count in sorted(Counter(misp).items(), reverse=True):
-                parts.append(f"{count}x{size}")
-        if plain:
-            parts.append(f"+{plain}" if parts else f"{plain}x1")
-        return " ".join(parts) if parts else "empty"
+        return config_name([len(p.amss) for p in self.processors])
 
     # ------------------------------------------------------------------
     # Process / thread API

@@ -1,79 +1,26 @@
-"""MISP multiprocessor configurations (Section 2.6, Figure 6).
+"""MISP multiprocessor construction (Section 2.6, Figure 6).
 
-The Figure 6 / Figure 7 experiments vary how eight sequencers are
-partitioned into MISP processors.  This module parses the paper's
-configuration notation and builds machines:
-
-* ``"4x2"``  -- four MISP processors of (1 OMS + 1 AMS);
-* ``"2x4"``  -- two MISP processors of (1 OMS + 3 AMS);
-* ``"1x8"``  -- one MISP processor of (1 OMS + 7 AMS);
-* ``"1x4+4"`` -- one (1 OMS + 3 AMS) processor plus four plain CPUs;
-* ``"smp8"`` -- eight plain CPUs (the SMP baseline).
-
-A configuration is canonically a tuple of per-processor AMS counts,
-e.g. ``(3, 0, 0, 0, 0)`` for ``1x4+4``.
+The partition notation itself (``"4x2"``, ``"1x4+4"``, ``"smp8"``,
+...) lives in :mod:`repro.core.notation`; this module builds live
+machines from it.  The notation helpers are re-exported here for
+backward compatibility.
 """
 
 from __future__ import annotations
 
-import re
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.core.machine import Machine
-from repro.errors import ConfigurationError
+from repro.core.notation import (
+    FIGURE6_CONFIGS, FIGURE7_CONFIGS, config_name, ideal_config_for_load,
+    parse_config, total_sequencers,
+)
 from repro.params import DEFAULT_PARAMS, MachineParams
 
-_CONFIG_RE = re.compile(r"^(\d+)x(\d+)(?:\+(\d+))?$")
-
-#: The configurations evaluated in Figure 7, by paper name.
-FIGURE7_CONFIGS = [
-    "4x2", "2x4", "1x8", "1x7+1", "1x6+2", "1x5+3", "1x4+4",
+__all__ = [
+    "FIGURE6_CONFIGS", "FIGURE7_CONFIGS", "build_machine", "config_name",
+    "ideal_config_for_load", "parse_config", "total_sequencers",
 ]
-
-#: The configurations drawn in Figure 6.
-FIGURE6_CONFIGS = ["4x2", "2x4", "1x8", "1x4+4"]
-
-
-def parse_config(name: str) -> tuple[int, ...]:
-    """Parse a Figure-6-style name into per-processor AMS counts.
-
-    ``KxS+P`` means K MISP processors of S sequencers each (one OMS,
-    S-1 AMSs), plus P single-sequencer processors.  ``smpN`` means N
-    plain CPUs.
-    """
-    name = name.strip().lower()
-    smp = re.match(r"^smp(\d+)$", name)
-    if smp:
-        return (0,) * int(smp.group(1))
-    m = _CONFIG_RE.match(name)
-    if not m:
-        raise ConfigurationError(
-            f"cannot parse configuration '{name}' "
-            "(expected e.g. '4x2', '1x4+4', or 'smp8')")
-    k, s, p = int(m.group(1)), int(m.group(2)), int(m.group(3) or 0)
-    if k <= 0 or s <= 0:
-        raise ConfigurationError(f"degenerate configuration '{name}'")
-    return tuple([s - 1] * k + [0] * p)
-
-
-def total_sequencers(config: Sequence[int]) -> int:
-    return len(config) + sum(config)
-
-
-def config_name(config: Sequence[int]) -> str:
-    """Render per-processor AMS counts back to the paper's notation."""
-    misp = [c for c in config if c > 0]
-    plain = sum(1 for c in config if c == 0)
-    if not misp:
-        return f"smp{plain}"
-    sizes = {c + 1 for c in misp}
-    if len(sizes) != 1:
-        # uneven MISP sizes: list each group
-        parts = "+".join(f"1x{c + 1}" for c in misp)
-        return parts + (f"+{plain}" if plain else "")
-    size = sizes.pop()
-    base = f"{len(misp)}x{size}"
-    return base + (f"+{plain}" if plain else "")
 
 
 def build_machine(config: str | Sequence[int],
@@ -82,20 +29,3 @@ def build_machine(config: str | Sequence[int],
     """Build a machine from a name or an AMS-count tuple."""
     counts = parse_config(config) if isinstance(config, str) else tuple(config)
     return Machine(counts, params=params, record_fine_trace=record_fine_trace)
-
-
-def ideal_config_for_load(total_sequencers_: int, background: int) -> tuple[int, ...]:
-    """The Section 5.4 'ideal' configuration for a given load.
-
-    With N background single-threaded processes, the ideal partition
-    gives the multi-shredded application one MISP processor with all
-    remaining sequencers and each background process its own AMS-less
-    OMS: ``1x(T-N) + N``.
-    """
-    if background < 0:
-        raise ConfigurationError("background process count must be >= 0")
-    if background >= total_sequencers_:
-        raise ConfigurationError(
-            f"cannot give {background} background processes their own CPU "
-            f"out of {total_sequencers_} sequencers")
-    return tuple([total_sequencers_ - background - 1] + [0] * background)

@@ -1,0 +1,108 @@
+"""The paper's machine-partition notation (Section 2.6, Figure 6).
+
+The Figure 6 / Figure 7 experiments vary how eight sequencers are
+partitioned into MISP processors, named in a compact notation:
+
+* ``"4x2"``   -- four MISP processors of (1 OMS + 1 AMS);
+* ``"2x4"``   -- two MISP processors of (1 OMS + 3 AMS);
+* ``"1x8"``   -- one MISP processor of (1 OMS + 7 AMS);
+* ``"1x4+4"`` -- one (1 OMS + 3 AMS) processor plus four plain CPUs;
+* ``"1x4+1x2"`` -- uneven MISP sizes, one group per term;
+* ``"smp8"``  -- eight plain CPUs (the SMP baseline).
+
+A configuration is canonically a tuple of per-processor AMS counts,
+e.g. ``(3, 0, 0, 0, 0)`` for ``1x4+4``.  :func:`parse_config` and
+:func:`config_name` are exact inverses on canonical names, which the
+experiment layer relies on for content-addressed run deduplication.
+
+This module is intentionally free of machine dependencies so that both
+:mod:`repro.core.machine` and :mod:`repro.core.mp` can share it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+_GROUP_RE = re.compile(r"^(\d+)x(\d+)$")
+_SMP_RE = re.compile(r"^smp(\d+)$")
+
+#: The configurations evaluated in Figure 7, by paper name.
+FIGURE7_CONFIGS = [
+    "4x2", "2x4", "1x8", "1x7+1", "1x6+2", "1x5+3", "1x4+4",
+]
+
+#: The configurations drawn in Figure 6.
+FIGURE6_CONFIGS = ["4x2", "2x4", "1x8", "1x4+4"]
+
+
+def parse_config(name: str) -> tuple[int, ...]:
+    """Parse a Figure-6-style name into per-processor AMS counts.
+
+    The name is a ``+``-joined list of terms: ``KxS`` means K MISP
+    processors of S sequencers each (one OMS, S-1 AMSs); a bare
+    integer ``P`` means P single-sequencer processors.  ``smpN`` is
+    shorthand for N plain CPUs.  Plain CPUs sort after MISP groups in
+    the canonical tuple, matching :func:`config_name`.
+    """
+    name = name.strip().lower()
+    smp = _SMP_RE.match(name)
+    if smp:
+        return (0,) * int(smp.group(1))
+    counts: list[int] = []
+    plain = 0
+    for part in name.split("+") if name else [""]:
+        group = _GROUP_RE.match(part)
+        if group:
+            k, s = int(group.group(1)), int(group.group(2))
+            if k <= 0 or s <= 0:
+                raise ConfigurationError(f"degenerate configuration '{name}'")
+            counts.extend([s - 1] * k)
+        elif part.isdigit():
+            plain += int(part)
+        else:
+            raise ConfigurationError(
+                f"cannot parse configuration '{name}' "
+                "(expected e.g. '4x2', '1x4+4', '1x4+1x2', or 'smp8')")
+    if not counts and not plain:
+        raise ConfigurationError(f"degenerate configuration '{name}'")
+    return tuple(counts + [0] * plain)
+
+
+def total_sequencers(config: Sequence[int]) -> int:
+    return len(config) + sum(config)
+
+
+def config_name(config: Sequence[int]) -> str:
+    """Render per-processor AMS counts back to the paper's notation."""
+    misp = [c for c in config if c > 0]
+    plain = sum(1 for c in config if c == 0)
+    if not misp:
+        return f"smp{plain}"
+    sizes = {c + 1 for c in misp}
+    if len(sizes) != 1:
+        # uneven MISP sizes: list each group
+        parts = "+".join(f"1x{c + 1}" for c in misp)
+        return parts + (f"+{plain}" if plain else "")
+    size = sizes.pop()
+    base = f"{len(misp)}x{size}"
+    return base + (f"+{plain}" if plain else "")
+
+
+def ideal_config_for_load(total_sequencers_: int, background: int) -> tuple[int, ...]:
+    """The Section 5.4 'ideal' configuration for a given load.
+
+    With N background single-threaded processes, the ideal partition
+    gives the multi-shredded application one MISP processor with all
+    remaining sequencers and each background process its own AMS-less
+    OMS: ``1x(T-N) + N``.
+    """
+    if background < 0:
+        raise ConfigurationError("background process count must be >= 0")
+    if background >= total_sequencers_:
+        raise ConfigurationError(
+            f"cannot give {background} background processes their own CPU "
+            f"out of {total_sequencers_} sequencers")
+    return tuple([total_sequencers_ - background - 1] + [0] * background)

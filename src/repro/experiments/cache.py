@@ -1,0 +1,83 @@
+"""On-disk memoization of completed runs, keyed by spec hash.
+
+One JSON file per unique :class:`~repro.experiments.spec.RunSpec`,
+named ``<spec_hash>.json`` and containing both the canonical spec (for
+audit and invalidation) and the :class:`RunSummary`.  Writes are
+atomic (temp file + ``os.replace``) so concurrent writers -- parallel
+Runner workers, or two simultaneous invocations sharing a cache
+directory -- can only ever race to write identical content.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.experiments.spec import RunSpec
+from repro.experiments.summary import RunSummary
+
+#: bump to invalidate every previously cached summary
+CACHE_VERSION = 1
+
+
+class ResultCache:
+    """A directory of ``<spec_hash>.json`` run summaries."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, spec: RunSpec) -> Path:
+        return self.root / f"{spec.spec_hash()}.json"
+
+    def get(self, spec: RunSpec) -> Optional[RunSummary]:
+        """The cached summary for ``spec``, or None on miss/corruption."""
+        path = self.path_for(spec)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            if payload.get("cache_version") != CACHE_VERSION:
+                return None
+            if payload.get("spec_hash") != spec.spec_hash():
+                return None
+            return RunSummary.from_dict(payload["summary"])
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # unreadable or stale-format entry: treat as a miss
+            return None
+
+    def put(self, spec: RunSpec, summary: RunSummary) -> Path:
+        path = self.path_for(spec)
+        payload = {
+            "cache_version": CACHE_VERSION,
+            "spec_hash": spec.spec_hash(),
+            "spec": spec.to_dict(),
+            "summary": summary.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True, indent=1)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

@@ -1,0 +1,260 @@
+"""Execute experiment grids: dedup, parallelism, and memoization.
+
+The :class:`Runner` takes :class:`~repro.experiments.spec.RunSpec`
+grids and returns :class:`~repro.experiments.summary.RunSummary`
+values, guaranteeing that each *unique* simulation executes exactly
+once per process (in-memory memo), at most once per machine when an
+on-disk cache directory is configured, and that independent runs
+execute concurrently in worker processes.
+
+:func:`execute` is the single entry point that maps a spec to a
+finished summary; it is a module-level function so
+``ProcessPoolExecutor`` can ship it to workers.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Union
+
+import repro.workloads  # noqa: F401  -- populates the workload registry
+from repro.core.notation import parse_config
+from repro.errors import ConfigurationError
+from repro.experiments.cache import ResultCache
+from repro.experiments.spec import ExperimentSpec, RunSpec
+from repro.experiments.summary import (
+    RunSummary, summarize_multiprog, summarize_run,
+)
+from repro.shredlib.runtime import QueuePolicy
+from repro.workloads.base import REGISTRY
+from repro.workloads.multiprog import run_multiprogram
+from repro.workloads.runner import run_misp, run_smp
+
+
+def execute(spec: RunSpec) -> RunSummary:
+    """Run one spec to completion and return its plain-data summary.
+
+    Deterministic: the simulation is a pure function of the spec, so
+    equal specs produce equal summaries in any process.
+    """
+    params, policy = spec.params, QueuePolicy(spec.policy)
+    workload = REGISTRY.build(spec.workload, spec.scale, **dict(spec.args))
+    if spec.system == "multiprog":
+        result = run_multiprogram(spec.config, spec.background,
+                                  params=params, workload=workload,
+                                  policy=policy, horizon=spec.limit)
+        return summarize_multiprog(result, spec)
+    if spec.system == "misp":
+        counts = parse_config(spec.config)
+        run = run_misp(workload, ams_count=counts[0], params=params,
+                       limit=spec.limit, policy=policy)
+    elif spec.system in ("smp", "1p"):
+        # run_smp(ncpus=1) IS the 1P baseline; going through it (rather
+        # than run_1p) honors the spec's queue policy on both systems
+        run = run_smp(workload, ncpus=len(parse_config(spec.config)),
+                      params=params, limit=spec.limit, policy=policy)
+    else:  # pragma: no cover - RunSpec validates system
+        raise ConfigurationError(f"unknown system '{spec.system}'")
+    return summarize_run(run, spec)
+
+
+@dataclass
+class RunnerStats:
+    """Where each requested run came from."""
+
+    requested: int = 0
+    #: simulations actually executed
+    executed: int = 0
+    #: duplicate grid members folded onto a shared run
+    deduplicated: int = 0
+    #: served from this Runner's in-memory memo
+    memo_hits: int = 0
+    #: served from the on-disk cache
+    cache_hits: int = 0
+
+    def __str__(self) -> str:
+        return (f"{self.requested} requested = {self.executed} executed "
+                f"+ {self.deduplicated} deduplicated "
+                f"+ {self.memo_hits} memoized + {self.cache_hits} cached")
+
+
+class ExperimentResult:
+    """Summaries of one executed :class:`ExperimentSpec`.
+
+    Index with the member RunSpec (``result[spec]``) -- lookup is by
+    content hash, so any spec describing the same simulation resolves.
+    """
+
+    def __init__(self, experiment: ExperimentSpec,
+                 summaries: dict[str, RunSummary]) -> None:
+        self.experiment = experiment
+        self._by_hash = summaries
+
+    def __getitem__(self, spec: RunSpec) -> RunSummary:
+        try:
+            return self._by_hash[spec.spec_hash()]
+        except KeyError:
+            raise KeyError(f"no run for {spec.describe()}") from None
+
+    def __contains__(self, spec: RunSpec) -> bool:
+        return spec.spec_hash() in self._by_hash
+
+    def __len__(self) -> int:
+        return len(self._by_hash)
+
+    def summaries(self) -> list[RunSummary]:
+        """Summaries in experiment order (duplicates included)."""
+        return [self[spec] for spec in self.experiment.runs]
+
+    def find(self, **attrs) -> RunSummary:
+        """The unique summary whose fields match ``attrs``."""
+        matches = [s for s in self._by_hash.values()
+                   if all(getattr(s, k) == v for k, v in attrs.items())]
+        if len(matches) != 1:
+            raise KeyError(f"{len(matches)} summaries match {attrs}")
+        return matches[0]
+
+
+class Runner:
+    """Deduplicating, caching, parallel experiment executor.
+
+    * duplicate specs within and across calls run once (in-memory memo);
+    * with ``cache_dir``, completed runs persist on disk keyed by spec
+      hash, so re-invocations (new processes) are served from cache;
+    * independent specs execute in parallel worker processes via
+      :class:`concurrent.futures.ProcessPoolExecutor` (``parallel=False``
+      or ``max_workers=1`` forces in-process serial execution).
+    """
+
+    def __init__(self, cache_dir: Optional[Union[str, os.PathLike]] = None,
+                 max_workers: Optional[int] = None,
+                 parallel: bool = True) -> None:
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self.parallel = parallel and self.max_workers > 1
+        self.stats = RunnerStats()
+        self._memo: dict[str, RunSummary] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, spec: RunSpec) -> RunSummary:
+        """Run (or recall) a single spec."""
+        return self.run_many([spec])[0]
+
+    def run_many(self, specs: Iterable[RunSpec]) -> list[RunSummary]:
+        """Run a grid; returns summaries in input order.
+
+        Each unique simulation is resolved once -- memo, then disk
+        cache, then execution -- and duplicates share the result.
+        """
+        specs = list(specs)
+        self.stats.requested += len(specs)
+        unique: dict[str, RunSpec] = {}
+        for spec in specs:
+            unique.setdefault(spec.spec_hash(), spec)
+        self.stats.deduplicated += len(specs) - len(unique)
+
+        to_run: list[RunSpec] = []
+        for key, spec in unique.items():
+            if key in self._memo:
+                self.stats.memo_hits += 1
+                continue
+            if self.cache is not None:
+                hit = self.cache.get(spec)
+                if hit is not None:
+                    self._memo[key] = hit
+                    self.stats.cache_hits += 1
+                    continue
+            to_run.append(spec)
+        self._execute_batch(to_run)
+        return [self._memo[spec.spec_hash()] for spec in specs]
+
+    def run_experiment(self, experiment: ExperimentSpec) -> ExperimentResult:
+        """Run every member of an experiment grid."""
+        self.run_many(experiment.runs)
+        by_hash = {spec.spec_hash(): self._memo[spec.spec_hash()]
+                   for spec in experiment.runs}
+        return ExperimentResult(experiment, by_hash)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _execute_batch(self, specs: Sequence[RunSpec]) -> None:
+        """Execute specs, storing each finished summary as it lands.
+
+        One failing simulation does not discard the rest of the batch:
+        completed runs are memoized (and cached) before the first
+        failure re-raises, so a retry only re-runs what failed.
+
+        The pool is deliberately per-batch: batches run for seconds to
+        minutes, so spawn cost is noise, and a long-lived Runner (the
+        process-wide default) never holds idle worker processes
+        between experiments.
+        """
+        if not specs:
+            return
+        failure: Optional[BaseException] = None
+        if self.parallel and len(specs) > 1:
+            workers = min(self.max_workers, len(specs))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {pool.submit(execute, spec): spec
+                           for spec in specs}
+                for future in as_completed(futures):
+                    try:
+                        self._store(futures[future], future.result())
+                    except Exception as exc:
+                        failure = failure or exc
+        else:
+            for spec in specs:
+                try:
+                    self._store(spec, execute(spec))
+                except Exception as exc:
+                    failure = failure or exc
+        if failure is not None:
+            raise failure
+
+    def _store(self, spec: RunSpec, summary: RunSummary) -> None:
+        self.stats.executed += 1
+        self._memo[spec.spec_hash()] = summary
+        if self.cache is not None:
+            self.cache.put(spec, summary)
+
+
+# ----------------------------------------------------------------------
+# Process-wide default runner (shared memo across analysis modules)
+# ----------------------------------------------------------------------
+_default_runner: Optional[Runner] = None
+
+
+def runner_from_env() -> Runner:
+    """A Runner configured from the documented environment knobs:
+    ``REPRO_CACHE_DIR`` enables the on-disk cache, ``REPRO_MAX_WORKERS``
+    bounds parallelism, ``REPRO_SERIAL=1`` forces serial in-process
+    execution."""
+    max_workers = os.environ.get("REPRO_MAX_WORKERS")
+    return Runner(
+        cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
+        max_workers=int(max_workers) if max_workers else None,
+        parallel=os.environ.get("REPRO_SERIAL", "") not in ("1", "true"),
+    )
+
+
+def default_runner() -> Runner:
+    """The process-wide shared Runner (built via :func:`runner_from_env`).
+
+    Sharing one memo across the analysis drivers is what lets a single
+    1P baseline serve Figure 4, Figure 5, and Table 1 in one process.
+    """
+    global _default_runner
+    if _default_runner is None:
+        _default_runner = runner_from_env()
+    return _default_runner
+
+
+def set_default_runner(runner: Optional[Runner]) -> None:
+    """Replace (or with None, reset) the process-wide default Runner."""
+    global _default_runner
+    _default_runner = runner

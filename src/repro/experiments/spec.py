@@ -1,0 +1,246 @@
+"""Declarative run specifications.
+
+A :class:`RunSpec` names one simulation -- *which workload, on which
+system, in which machine configuration, at what scale, under which
+parameters* -- as plain, hashable data.  Two specs that describe the
+same simulation normalize to the same canonical form and therefore the
+same :meth:`RunSpec.spec_hash`, which is what lets the
+:class:`~repro.experiments.runner.Runner` deduplicate shared runs
+(one 1P baseline serves Figure 4, Figure 5, and Table 1) and memoize
+completed runs on disk.
+
+An :class:`ExperimentSpec` is an ordered grid of RunSpecs -- the
+declarative form of "a figure": Figure 4 is ``workloads x {1p, misp,
+smp}``, Figure 7 is ``configs x loads``, and adding a scenario is
+declaring one more RunSpec.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Optional, Sequence, Union
+
+from repro.core.notation import (
+    config_name, ideal_config_for_load, parse_config,
+)
+from repro.errors import ConfigurationError
+from repro.params import DEFAULT_PARAMS, MachineParams
+from repro.shredlib.runtime import QueuePolicy
+from repro.workloads.multiprog import MULTIPROG_HORIZON
+from repro.workloads.runner import DEFAULT_LIMIT
+
+#: systems a RunSpec can target
+SYSTEMS = ("misp", "smp", "1p", "multiprog")
+
+#: sequencer budget of the paper's multiprogramming study (Section 5.4)
+FIGURE7_SEQUENCERS = 8
+
+#: default machine configuration per system
+DEFAULT_CONFIGS = {"misp": "1x8", "smp": "smp8", "1p": "smp1",
+                   "multiprog": "1x8"}
+
+#: bump to invalidate previously hashed specs after semantic changes
+SPEC_VERSION = 1
+
+
+def _canonical_args(args: Any) -> tuple[tuple[str, Any], ...]:
+    """Normalize factory kwargs to a sorted, hashable pair tuple."""
+    if isinstance(args, Mapping):
+        items = args.items()
+    else:
+        items = tuple(args)
+    out = []
+    for key, value in sorted(items):
+        if not isinstance(key, str):
+            raise ConfigurationError(f"workload arg name {key!r} not a string")
+        if not isinstance(value, (str, int, float, bool, type(None))):
+            raise ConfigurationError(
+                f"workload arg {key}={value!r} is not a JSON scalar")
+        out.append((key, value))
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation, as content-hashable plain data.
+
+    Fields are normalized on construction so that equal simulations
+    compare (and hash) equal:
+
+    * ``system`` / ``policy`` are lowercased and validated;
+    * ``config`` is canonicalized through the Figure 6 notation
+      (``"1X8"`` -> ``"1x8"``, ``"smp1"`` on a plain CPU collapses
+      ``smp`` to ``1p``, multiprogramming's ``"ideal"`` resolves to
+      the explicit per-load partition);
+    * ``args`` (extra workload-factory kwargs, e.g. RayTracer's
+      ``probe_pages``) become a sorted tuple of pairs.
+    """
+
+    workload: str
+    system: str = "misp"
+    config: str = ""
+    scale: Optional[float] = None
+    #: background single-threaded processes (multiprog only)
+    background: int = 0
+    #: gang-scheduler queue policy ("fifo" | "lifo")
+    policy: Union[str, QueuePolicy] = "fifo"
+    params: MachineParams = DEFAULT_PARAMS
+    limit: int = DEFAULT_LIMIT
+    #: extra workload-factory kwargs, as a mapping or pair tuple
+    args: Any = ()
+
+    def __post_init__(self) -> None:
+        s = lambda field, value: object.__setattr__(self, field, value)
+        system = str(self.system).strip().lower()
+        if system not in SYSTEMS:
+            raise ConfigurationError(
+                f"unknown system '{self.system}'; expected one of {SYSTEMS}")
+        policy = (self.policy.value if isinstance(self.policy, QueuePolicy)
+                  else str(self.policy).strip().lower())
+        QueuePolicy(policy)  # validate
+        s("policy", policy)
+        if self.scale is not None and self.scale <= 0:
+            raise ConfigurationError(f"scale must be positive: {self.scale}")
+        if self.background < 0:
+            raise ConfigurationError("background must be >= 0")
+        if self.background and system != "multiprog":
+            raise ConfigurationError(
+                "background processes require system='multiprog'")
+        if self.limit <= 0:
+            raise ConfigurationError(f"limit must be positive: {self.limit}")
+        if system == "multiprog" and self.limit == DEFAULT_LIMIT:
+            # the untouched generic default means "the multiprog
+            # driver's own horizon", so both drivers time out alike
+            s("limit", MULTIPROG_HORIZON)
+        s("args", _canonical_args(self.args))
+        config = (self.config or DEFAULT_CONFIGS[system]).strip().lower()
+        system, config = self._canonical_config(system, config)
+        s("system", system)
+        s("config", config)
+
+    def _canonical_config(self, system: str, config: str) -> tuple[str, str]:
+        if system == "multiprog":
+            if config == "smp":          # the 8-way SMP baseline series
+                return system, config
+            if config == "ideal":        # per-load partition (Section 5.4)
+                counts = ideal_config_for_load(FIGURE7_SEQUENCERS,
+                                               self.background)
+            else:
+                counts = parse_config(config)
+            if not any(counts):
+                raise ConfigurationError(
+                    f"multiprog partition '{config}' has no MISP "
+                    "processor to drive the shredded workload; use "
+                    "config='smp' for the SMP multiprogramming baseline")
+            return system, config_name(counts)
+        if system == "1p":
+            return "1p", "smp1"
+        counts = parse_config(config)
+        if system == "smp":
+            if any(counts):
+                raise ConfigurationError(
+                    f"system='smp' needs plain CPUs, got '{config}'")
+            if len(counts) == 1:
+                return "1p", "smp1"
+            return system, config_name(counts)
+        # misp: the single-application runner drives one MISP processor
+        if len(counts) != 1:
+            raise ConfigurationError(
+                f"system='misp' runs on one MISP processor, got '{config}'; "
+                "use system='multiprog' for MP partitions")
+        return system, config_name(counts)
+
+    # ------------------------------------------------------------------
+    # Content addressing
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe canonical form (used for hashing and the cache)."""
+        return {
+            "workload": self.workload,
+            "system": self.system,
+            "config": self.config,
+            "scale": self.scale,
+            "background": self.background,
+            "policy": self.policy,
+            "limit": self.limit,
+            "args": [list(pair) for pair in self.args],
+            "params": dataclasses.asdict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
+        data = dict(data)
+        params = MachineParams(**data.pop("params"))
+        args = tuple((k, v) for k, v in data.pop("args", []))
+        return cls(params=params, args=args, **data)
+
+    def spec_hash(self) -> str:
+        """Stable content hash of the canonical spec.
+
+        Computed once per instance (frozen, so the digest cannot go
+        stale) -- callers hash freely in dedup loops and lookups.
+        """
+        cached = self.__dict__.get("_spec_hash")
+        if cached is None:
+            payload = json.dumps({"version": SPEC_VERSION, **self.to_dict()},
+                                 sort_keys=True, separators=(",", ":"))
+            cached = hashlib.sha256(payload.encode()).hexdigest()
+            object.__setattr__(self, "_spec_hash", cached)
+        return cached
+
+    def describe(self) -> str:
+        extra = f"+{self.background}bg" if self.background else ""
+        scale = f"@{self.scale:g}" if self.scale is not None else ""
+        return f"{self.workload}{scale}/{self.system}:{self.config}{extra}"
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A named, ordered grid of :class:`RunSpec` members.
+
+    Duplicate members are legal (grids are easier to declare that
+    way); the Runner executes each *unique* simulation exactly once.
+    """
+
+    name: str
+    runs: tuple[RunSpec, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "runs", tuple(self.runs))
+
+    def unique_runs(self) -> tuple[RunSpec, ...]:
+        """Members deduplicated by content hash, first occurrence wins."""
+        seen: dict[str, RunSpec] = {}
+        for spec in self.runs:
+            seen.setdefault(spec.spec_hash(), spec)
+        return tuple(seen.values())
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def __add__(self, other: "ExperimentSpec") -> "ExperimentSpec":
+        return ExperimentSpec(f"{self.name}+{other.name}",
+                              self.runs + other.runs)
+
+    @classmethod
+    def grid(cls, name: str, workloads: Sequence[str],
+             systems: Iterable[Union[str, tuple[str, str]]] = ("1p", "misp", "smp"),
+             *, scale: Optional[float] = None,
+             params: MachineParams = DEFAULT_PARAMS,
+             policy: Union[str, QueuePolicy] = "fifo") -> "ExperimentSpec":
+        """Cross product ``workloads x systems``.
+
+        Each ``systems`` entry is a system name (run in its default
+        configuration) or an explicit ``(system, config)`` pair.
+        """
+        runs = []
+        for workload in workloads:
+            for entry in systems:
+                system, config = (entry if isinstance(entry, tuple)
+                                  else (entry, DEFAULT_CONFIGS[entry]))
+                runs.append(RunSpec(workload, system, config, scale=scale,
+                                    params=params, policy=policy))
+        return cls(name, tuple(runs))

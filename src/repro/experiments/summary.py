@@ -1,0 +1,187 @@
+"""Serializable run results.
+
+:class:`~repro.workloads.runner.RunResult` holds the live
+:class:`~repro.core.machine.Machine`, runtime, and OS thread -- ideal
+for in-process inspection, but generators and engine callbacks make it
+unpicklable, which blocks both multiprocessing and on-disk caching.
+:class:`RunSummary` is the serialization split: the plain-data view of
+a finished run (cycles, Table-1 event counts, proxy statistics,
+utilization totals) that crosses process boundaries and round-trips
+through JSON.
+
+``RunSummary`` intentionally mirrors the accessors the analysis layer
+uses on ``RunResult`` (``cycles``, ``workload``,
+``serializing_events()``), so :func:`repro.analysis.table1.measured_row`
+and :func:`repro.analysis.figure5.sensitivity_from_run` accept either.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping, Optional
+
+from repro.sim.trace import EventKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.spec import RunSpec
+    from repro.workloads.multiprog import MultiprogResult
+    from repro.workloads.runner import RunResult
+
+#: Table 1's six event columns, in presentation order
+EVENT_KEYS = ("oms_syscall", "oms_pf", "oms_timer", "oms_interrupt",
+              "ams_syscall", "ams_pf")
+
+
+@dataclass(frozen=True)
+class ProxySummary:
+    """Proxy-execution accounting (the firmware-feedback view)."""
+
+    requests: int = 0
+    page_faults: int = 0
+    syscalls: int = 0
+    total_latency: int = 0
+    max_queue_depth: int = 0
+
+    @property
+    def mean_latency(self) -> float:
+        return self.total_latency / self.requests if self.requests else 0.0
+
+
+@dataclass(frozen=True)
+class UtilizationSummary:
+    """Aggregate sequencer-utilization totals for one run."""
+
+    oms_busy_cycles: int = 0
+    ams_busy_cycles: int = 0
+    ams_suspended_cycles: int = 0
+    ops_executed: int = 0
+    num_oms: int = 0
+    num_ams: int = 0
+
+    def ams_availability(self, cycles: int) -> float:
+        """Fraction of AMS-cycles not lost to suspension."""
+        if not self.num_ams or not cycles:
+            return 1.0
+        return 1.0 - self.ams_suspended_cycles / (self.num_ams * cycles)
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Plain-data outcome of one simulation (picklable, JSON-able)."""
+
+    workload: str
+    system: str
+    config: str
+    cycles: int
+    scale: Optional[float] = None
+    background: int = 0
+    #: Table-1 event counts, in the six-column layout
+    events: dict[str, int] = field(default_factory=dict)
+    proxy: ProxySummary = ProxySummary()
+    utilization: UtilizationSummary = UtilizationSummary()
+    #: shreds still live at completion (0 = every shred joined)
+    shreds_unjoined: int = 0
+    #: legacy API calls the ShredLib shim translated (Table 2 runs)
+    legacy_calls_translated: int = 0
+    #: content hash of the RunSpec that produced this summary
+    spec_hash: str = ""
+
+    # -- RunResult-compatible accessors --------------------------------
+    def serializing_events(self) -> dict[str, int]:
+        """Counts in the paper's Table 1 layout."""
+        return dict(self.events)
+
+    @property
+    def total_oms_events(self) -> int:
+        return sum(self.events.get(k, 0) for k in EVENT_KEYS
+                   if k.startswith("oms_"))
+
+    @property
+    def total_ams_events(self) -> int:
+        return sum(self.events.get(k, 0) for k in EVENT_KEYS
+                   if k.startswith("ams_"))
+
+    # -- JSON round-trip (the on-disk cache format) --------------------
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunSummary":
+        data = dict(data)
+        data["proxy"] = ProxySummary(**data.get("proxy", {}))
+        data["utilization"] = UtilizationSummary(**data.get("utilization", {}))
+        data["events"] = {str(k): int(v)
+                          for k, v in data.get("events", {}).items()}
+        return cls(**data)
+
+
+def _machine_totals(machine) -> tuple[ProxySummary, UtilizationSummary]:
+    ps = machine.proxy_stats
+    proxy = ProxySummary(ps.requests, ps.page_faults, ps.syscalls,
+                         ps.total_latency, ps.max_queue_depth)
+    util = UtilizationSummary(
+        oms_busy_cycles=sum(s.busy_cycles for s in machine.sequencers
+                            if s.is_oms),
+        ams_busy_cycles=sum(s.busy_cycles for s in machine.sequencers
+                            if not s.is_oms),
+        ams_suspended_cycles=sum(s.suspended_cycles
+                                 for s in machine.sequencers if not s.is_oms),
+        ops_executed=sum(s.ops_executed for s in machine.sequencers),
+        num_oms=len(machine.oms_ids()),
+        num_ams=len(machine.ams_ids()),
+    )
+    return proxy, util
+
+
+def summarize_run(result: "RunResult",
+                  spec: Optional["RunSpec"] = None) -> RunSummary:
+    """Flatten a live :class:`RunResult` into a :class:`RunSummary`."""
+    proxy, util = _machine_totals(result.machine)
+    shim = getattr(result.runtime, "legacy_shim", None)
+    return RunSummary(
+        # label with the spec's registry name (not the built spec's,
+        # which args like probe_pages may decorate) so a summary always
+        # matches the RunSpec that produced it
+        workload=spec.workload if spec else result.workload,
+        system=result.system,
+        config=result.config,
+        cycles=result.cycles,
+        scale=spec.scale if spec else None,
+        background=0,
+        events=result.serializing_events(),
+        proxy=proxy,
+        utilization=util,
+        shreds_unjoined=result.runtime.active,
+        legacy_calls_translated=(shim.calls_translated if shim else 0),
+        spec_hash=spec.spec_hash() if spec else "",
+    )
+
+
+def summarize_multiprog(result: "MultiprogResult",
+                        spec: Optional["RunSpec"] = None) -> RunSummary:
+    """Flatten a multiprogramming run (Figure 7) into a summary."""
+    machine = result.machine
+    trace = machine.trace
+    oms_ids, ams_ids = machine.oms_ids(), machine.ams_ids()
+    events = {
+        "oms_syscall": trace.total(EventKind.SYSCALL, oms_ids),
+        "oms_pf": trace.total(EventKind.PAGE_FAULT, oms_ids),
+        "oms_timer": trace.total(EventKind.TIMER, oms_ids),
+        "oms_interrupt": trace.total(EventKind.INTERRUPT, oms_ids),
+        "ams_syscall": trace.total(EventKind.SYSCALL, ams_ids),
+        "ams_pf": trace.total(EventKind.PAGE_FAULT, ams_ids),
+    }
+    proxy, util = _machine_totals(machine)
+    return RunSummary(
+        workload=spec.workload if spec else "RayTracer",
+        system="multiprog",
+        config=result.config,
+        cycles=result.raytracer_cycles,
+        scale=spec.scale if spec else None,
+        background=result.background,
+        events=events,
+        proxy=proxy,
+        utilization=util,
+        spec_hash=spec.spec_hash() if spec else "",
+    )

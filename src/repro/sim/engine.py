@@ -26,15 +26,19 @@ class Event:
     the heap but is skipped when popped (lazy deletion).
     """
 
-    __slots__ = ("time", "seqno", "callback", "args", "cancelled")
+    __slots__ = ("time", "seqno", "callback", "args", "cancelled",
+                 "finished", "engine")
 
     def __init__(self, time: int, seqno: int,
-                 callback: Callable[..., None], args: tuple) -> None:
+                 callback: Callable[..., None], args: tuple,
+                 engine: Optional["Engine"] = None) -> None:
         self.time = time
         self.seqno = seqno
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.finished = False
+        self.engine = engine
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seqno) < (other.time, other.seqno)
@@ -54,6 +58,9 @@ class Engine:
         self._next_seqno = 0
         self._running = False
         self._executed = 0
+        #: cancelled events still sitting in the heap (lazy deletion),
+        #: maintained so pending() is O(1) instead of a heap scan
+        self._cancelled_queued = 0
 
     # ------------------------------------------------------------------
     # Clock
@@ -80,7 +87,8 @@ class Engine:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        event = Event(self._now + delay, self._next_seqno, callback, args)
+        event = Event(self._now + delay, self._next_seqno, callback, args,
+                      engine=self)
         self._next_seqno += 1
         heapq.heappush(self._heap, event)
         return event
@@ -93,7 +101,11 @@ class Engine:
     @staticmethod
     def cancel(event: Event) -> None:
         """Cancel a pending event (no-op if it already ran)."""
+        if event.cancelled or event.finished:
+            return
         event.cancelled = True
+        if event.engine is not None:
+            event.engine._cancelled_queued += 1
 
     # ------------------------------------------------------------------
     # Main loop
@@ -114,6 +126,7 @@ class Engine:
                 event = self._heap[0]
                 if event.cancelled:
                     heapq.heappop(self._heap)
+                    self._cancelled_queued -= 1
                     continue
                 if until is not None and event.time > until:
                     self._now = until
@@ -121,6 +134,7 @@ class Engine:
                 if max_events is not None and executed_this_run >= max_events:
                     break
                 heapq.heappop(self._heap)
+                event.finished = True
                 if event.time < self._now:
                     raise SimulationError(
                         f"time went backwards: event at {event.time}, now {self._now}")
@@ -133,8 +147,8 @@ class Engine:
         return self._now
 
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of live (non-cancelled) events still queued, in O(1)."""
+        return len(self._heap) - self._cancelled_queued
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Engine now={self._now} pending={self.pending()}>"

@@ -4,7 +4,7 @@ Importing this package populates :data:`repro.workloads.base.REGISTRY`
 with the 16 applications of the paper's Section 5 evaluation.
 """
 
-from repro.workloads import rms, speccomp  # registers the suites
+from repro.workloads import legacy, rms, speccomp  # registers the suites
 from repro.workloads.base import REGISTRY, WorkloadRegistry, WorkloadSpec
 from repro.workloads.runner import (
     DEFAULT_LIMIT, RunResult, run_1p, run_misp, run_smp,

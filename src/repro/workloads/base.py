@@ -27,6 +27,10 @@ from repro.shredlib.api import ShredAPI
 #: signature of a workload main-shred factory
 BuildFn = Callable[[ShredAPI, int], Iterator[Op]]
 
+#: signature of a spec factory: ``factory(scale=..., **kwargs)`` builds
+#: a (possibly scaled or otherwise parameterized) WorkloadSpec
+SpecFactory = Callable[..., "WorkloadSpec"]
+
 
 @dataclass(frozen=True)
 class WorkloadSpec:
@@ -45,15 +49,26 @@ class WorkloadSpec:
 
 
 class WorkloadRegistry:
-    """Name -> spec registry used by benchmarks and examples."""
+    """Name -> spec registry used by benchmarks and examples.
+
+    Besides the full-size spec instances, the registry holds each
+    workload's *spec factory*, so scaled (or otherwise parameterized)
+    variants are constructed uniformly by name everywhere -- the
+    experiment layer resolves every :class:`repro.experiments.RunSpec`
+    through :meth:`build`.
+    """
 
     def __init__(self) -> None:
         self._specs: dict[str, WorkloadSpec] = {}
+        self._factories: dict[str, SpecFactory] = {}
 
-    def register(self, spec: WorkloadSpec) -> WorkloadSpec:
+    def register(self, spec: WorkloadSpec,
+                 factory: Optional[SpecFactory] = None) -> WorkloadSpec:
         if spec.name in self._specs:
             raise ValueError(f"workload '{spec.name}' already registered")
         self._specs[spec.name] = spec
+        if factory is not None:
+            self._factories[spec.name] = factory
         return spec
 
     def get(self, name: str) -> WorkloadSpec:
@@ -63,6 +78,24 @@ class WorkloadRegistry:
             raise KeyError(
                 f"unknown workload '{name}'; known: {sorted(self._specs)}"
             ) from None
+
+    def build(self, name: str, scale: Optional[float] = None,
+              **kwargs) -> WorkloadSpec:
+        """Construct the named workload, optionally scaled.
+
+        ``scale=None`` with no extra arguments returns the registered
+        full-size spec; anything else goes through the workload's
+        registered factory (``factory(scale=..., **kwargs)``).
+        """
+        if scale is None and not kwargs:
+            return self.get(name)
+        self.get(name)  # canonical unknown-name error
+        factory = self._factories.get(name)
+        if factory is None:
+            raise KeyError(
+                f"workload '{name}' has no spec factory; it cannot be "
+                "scaled or parameterized")
+        return factory(scale=1.0 if scale is None else scale, **kwargs)
 
     def by_suite(self, suite: str) -> list[WorkloadSpec]:
         return [s for s in self._specs.values() if s.suite == suite]

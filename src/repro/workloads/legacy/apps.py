@@ -27,7 +27,7 @@ from repro.exec.ops import Op
 from repro.shredlib.api import ShredAPI
 from repro.shredlib.pthreads import PthreadsAPI
 from repro.shredlib.win32 import Win32API
-from repro.workloads.base import WorkloadSpec
+from repro.workloads.base import REGISTRY, WorkloadSpec
 from repro.workloads.common import WORK_CHUNK, chunk_ranges
 
 LegacyAPI = Union[PthreadsAPI, Win32API]
@@ -300,3 +300,24 @@ def make_ode_like(restructured: bool = True, **kwargs) -> WorkloadSpec:
 def make_thread_checker_like(**kwargs) -> WorkloadSpec:
     return _wrap("thread_checker_like", thread_checker_like, "pthreads",
                  **kwargs)
+
+
+def _legacy_factory(make, **fixed):
+    """Adapt a legacy make_* function to the registry's factory
+    protocol.  Legacy apps have no scale notion; ``scale`` is accepted
+    and ignored so they resolve uniformly by name."""
+    def factory(scale: float = 1.0, **kwargs) -> WorkloadSpec:
+        return make(**fixed, **kwargs)
+    return factory
+
+
+for _make, _fixed in [
+    (make_lame_mt, {}),
+    (make_media_encoder, {}),
+    (make_jrockit_like, {}),
+    (make_thread_checker_like, {}),
+    (make_ode_like, {"restructured": False}),
+    (make_ode_like, {"restructured": True}),
+]:
+    _factory = _legacy_factory(_make, **_fixed)
+    REGISTRY.register(_factory(), factory=_factory)

@@ -28,7 +28,7 @@ from repro.exec.context import ExecContext
 from repro.exec.ops import Compute, Op
 from repro.params import DEFAULT_PARAMS, MachineParams
 from repro.shredlib.api import ShredAPI
-from repro.shredlib.runtime import ShredRuntime
+from repro.shredlib.runtime import QueuePolicy, ShredRuntime
 from repro.workloads.base import WorkloadSpec
 from repro.workloads.rms.raytracer import make_raytracer
 from repro.workloads.runner import (
@@ -42,8 +42,10 @@ DEFAULT_RT_SCALE = 0.15
 #: simulation slice while polling for RayTracer completion
 _SLICE = 100_000_000
 
-#: absolute per-run budget
-_HORIZON = 200_000_000_000
+#: absolute per-run budget before declaring a hang (shared with the
+#: experiment layer so both drivers time out identically)
+MULTIPROG_HORIZON = 200_000_000_000
+_HORIZON = MULTIPROG_HORIZON
 
 
 def background_body() -> Iterator[Op]:
@@ -63,9 +65,14 @@ class MultiprogResult:
 def run_multiprogram(config: str, background: int,
                      rt_scale: float = DEFAULT_RT_SCALE,
                      params: MachineParams = DEFAULT_PARAMS,
-                     horizon: int = _HORIZON) -> MultiprogResult:
-    """Run RayTracer plus N background processes on one configuration."""
-    workload = make_raytracer(scale=rt_scale)
+                     horizon: int = _HORIZON,
+                     workload: Optional[WorkloadSpec] = None,
+                     policy: QueuePolicy = QueuePolicy.FIFO
+                     ) -> MultiprogResult:
+    """Run a shredded workload (default: RayTracer at ``rt_scale``)
+    plus N background processes on one configuration."""
+    if workload is None:
+        workload = make_raytracer(scale=rt_scale)
     if config == "smp":
         machine = build_machine("smp8", params=params)
         _ensure_thread_create(machine)
@@ -95,17 +102,18 @@ def run_multiprogram(config: str, background: int,
             pinned_cpu=0)
         thread.is_shredded = counts[0] > 0
 
+    rt.policy = policy
     for i in range(background):
         bg = machine.spawn_process(f"background-{i}")
         machine.spawn_thread(bg, f"bg-{i}", background_body())
 
     machine.start_timers()
     while not process.exited and machine.now < horizon:
-        machine.run(until=machine.now + _SLICE)
+        machine.run(until=min(machine.now + _SLICE, horizon))
     if not process.exited:
         raise SimulationError(
-            f"RayTracer did not finish on '{config}' with {background} "
-            f"background processes within {horizon} cycles")
+            f"'{workload.name}' did not finish on '{config}' with "
+            f"{background} background processes within {horizon} cycles")
     machine.stop()
     return MultiprogResult(config, background, process.exit_time, machine)
 

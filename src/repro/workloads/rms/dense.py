@@ -137,6 +137,6 @@ def make_dense_mvm_sym(scale: float = 1.0) -> WorkloadSpec:
                         description="symmetric dense MVM (power iteration)")
 
 
-REGISTRY.register(make_dense_mmm())
-REGISTRY.register(make_dense_mvm())
-REGISTRY.register(make_dense_mvm_sym())
+REGISTRY.register(make_dense_mmm(), factory=make_dense_mmm)
+REGISTRY.register(make_dense_mvm(), factory=make_dense_mvm)
+REGISTRY.register(make_dense_mvm_sym(), factory=make_dense_mvm_sym)

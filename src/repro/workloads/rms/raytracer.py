@@ -74,4 +74,4 @@ def make_raytracer(scale: float = 1.0, ntiles: int = 512,
                         description="tile-parallel ray tracer")
 
 
-REGISTRY.register(make_raytracer())
+REGISTRY.register(make_raytracer(), factory=make_raytracer)

@@ -191,7 +191,7 @@ def make_adat(scale: float = 1.0) -> WorkloadSpec:
                         description="A*D*A^T triple product")
 
 
-REGISTRY.register(make_gauss())
-REGISTRY.register(make_kmeans())
-REGISTRY.register(make_svm_c())
-REGISTRY.register(make_adat())
+REGISTRY.register(make_gauss(), factory=make_gauss)
+REGISTRY.register(make_kmeans(), factory=make_kmeans)
+REGISTRY.register(make_svm_c(), factory=make_svm_c)
+REGISTRY.register(make_adat(), factory=make_adat)

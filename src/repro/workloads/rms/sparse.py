@@ -98,6 +98,6 @@ def make_sparse_mvm_trans(scale: float = 1.0) -> WorkloadSpec:
                         iterations=12, task_cv=0.30, scale=scale)
 
 
-REGISTRY.register(make_sparse_mvm())
-REGISTRY.register(make_sparse_mvm_sym())
-REGISTRY.register(make_sparse_mvm_trans())
+REGISTRY.register(make_sparse_mvm(), factory=make_sparse_mvm)
+REGISTRY.register(make_sparse_mvm_sym(), factory=make_sparse_mvm_sym)
+REGISTRY.register(make_sparse_mvm_trans(), factory=make_sparse_mvm_trans)

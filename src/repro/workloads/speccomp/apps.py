@@ -21,6 +21,7 @@ the *rates* are what the overhead model consumes.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -154,4 +155,5 @@ def make_speccomp(name: str, scale: float = 1.0) -> WorkloadSpec:
 
 
 for _name in PROFILES:
-    REGISTRY.register(make_speccomp(_name))
+    REGISTRY.register(make_speccomp(_name),
+                      factory=functools.partial(make_speccomp, _name))

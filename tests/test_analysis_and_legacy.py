@@ -3,7 +3,7 @@ and the legacy applications on both system types."""
 
 import pytest
 
-from repro.analysis.figure4 import Figure4Result, SpeedupRow, _spec
+from repro.analysis.figure4 import Figure4Result, SpeedupRow
 from repro.analysis.figure5 import PAPER_TICK_CYCLES, sensitivity_from_run
 from repro.analysis.report import figure6_text
 from repro.analysis.table1 import EventRow, PAPER_TABLE1, format_table1
@@ -11,6 +11,7 @@ from repro.workloads.legacy import (
     make_jrockit_like, make_lame_mt, make_media_encoder, make_ode_like,
     make_thread_checker_like,
 )
+from repro.workloads.base import REGISTRY
 from repro.workloads.runner import run_1p, run_misp, run_smp
 
 
@@ -42,12 +43,13 @@ class TestFigure4Math:
             self.make_result().row("zzz")
 
     def test_spec_lookup_scaled(self):
-        spec = _spec("gauss", 0.1)
+        # scaled specs come uniformly from the registry's factories
+        spec = REGISTRY.build("gauss", 0.1)
         assert spec.name == "gauss"
-        spec2 = _spec("swim", 0.1)
+        spec2 = REGISTRY.build("swim", 0.1)
         assert spec2.suite == "speccomp"
-        full = _spec("gauss", None)
-        assert full.name == "gauss"
+        full = REGISTRY.build("gauss", None)
+        assert full is REGISTRY.get("gauss")
 
 
 class TestTable1Rows:
@@ -70,7 +72,7 @@ class TestTable1Rows:
 
 class TestFigure5Model:
     def test_decompression_ratio(self):
-        result = run_misp(_spec("dense_mvm", 0.1), ams_count=3)
+        result = run_misp(REGISTRY.build("dense_mvm", 0.1), ams_count=3)
         row = sensitivity_from_run(result)
         stretch = PAPER_TICK_CYCLES / 2_000_000
         for measured, decompressed in zip(row.overheads,

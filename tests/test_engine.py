@@ -150,3 +150,28 @@ def test_pending_counts_live_events_only():
     engine.schedule(20, lambda: None)
     Engine.cancel(e1)
     assert engine.pending() == 1
+
+
+def test_pending_tracks_cancel_run_and_drain():
+    engine = Engine()
+    events = [engine.schedule(10 * (i + 1), lambda: None) for i in range(4)]
+    assert engine.pending() == 4
+    Engine.cancel(events[0])
+    Engine.cancel(events[0])          # double cancel is a no-op
+    assert engine.pending() == 3
+    engine.run(until=25)              # runs events[1], skips events[0]
+    assert engine.pending() == 2
+    Engine.cancel(events[1])          # cancel after run is a no-op
+    assert engine.pending() == 2
+    engine.run()
+    assert engine.pending() == 0
+
+
+def test_cancel_within_callback_keeps_count_consistent():
+    engine = Engine()
+    hits = []
+    later = engine.schedule(20, hits.append, "later")
+    engine.schedule(10, lambda: Engine.cancel(later))
+    assert engine.pending() == 2
+    engine.run()
+    assert hits == [] and engine.pending() == 0

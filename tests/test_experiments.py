@@ -47,7 +47,7 @@ class TestFigure4:
 
 class TestTable1:
     def test_measured_rows_extracted(self, fig4):
-        row = measured_row(fig4.misp_runs["gauss"])
+        row = measured_row(fig4.misp_summaries["gauss"])
         assert row.oms_syscall == 8          # exact (structural)
         assert row.ams_syscall == 0
         assert row.oms_timer > 0
@@ -64,7 +64,7 @@ class TestTable1:
         assert unscaled.oms_pf == 7170
 
     def test_format(self, fig4):
-        rows = [measured_row(fig4.misp_runs[n]) for n in SUBSET]
+        rows = [measured_row(fig4.misp_summaries[n]) for n in SUBSET]
         text = format_table1(rows)
         assert "SysCall" in text and "gauss" in text
 
@@ -72,7 +72,7 @@ class TestTable1:
 class TestFigure5:
     def test_overhead_small_and_linear(self, fig4):
         for name in SUBSET:
-            row = sensitivity_from_run(fig4.misp_runs[name])
+            row = sensitivity_from_run(fig4.misp_summaries[name])
             o500, o1000, o5000 = row.overheads
             assert 0 <= o500 <= o1000 <= o5000
             assert o1000 == pytest.approx(2 * o500)
@@ -81,7 +81,7 @@ class TestFigure5:
             assert row.overheads_decompressed[-1] < 0.02
 
     def test_format(self, fig4):
-        rows = [sensitivity_from_run(fig4.misp_runs[n]) for n in SUBSET]
+        rows = [sensitivity_from_run(fig4.misp_summaries[n]) for n in SUBSET]
         text = format_figure5(rows)
         assert "worst" in text
 

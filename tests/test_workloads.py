@@ -31,13 +31,27 @@ def small(name):
 
 
 def test_registry_has_all_16():
-    assert set(FIGURE4_ORDER) == set(REGISTRY.names())
+    # the 16 Figure 4 applications, plus the Table 2 legacy ports
+    assert set(FIGURE4_ORDER) <= set(REGISTRY.names())
     assert len(FIGURE4_ORDER) == 16
 
 
 def test_registry_suites():
     assert len(REGISTRY.by_suite("rms")) == 11
     assert len(REGISTRY.by_suite("speccomp")) == 5
+    assert len(REGISTRY.by_suite("legacy")) == 6
+
+
+def test_registry_builds_scaled_specs_by_name():
+    scaled = REGISTRY.build("gauss", 0.1)
+    assert scaled.name == "gauss" and scaled is not REGISTRY.get("gauss")
+    assert REGISTRY.build("swim", 0.1).suite == "speccomp"
+    assert REGISTRY.build("RayTracer", 0.1, probe_pages=True).name == \
+        "RayTracer_probed"
+    # legacy apps resolve by name too (scale is accepted and ignored)
+    assert REGISTRY.build("ode_like_naive", 0.5).name == "ode_like_naive"
+    with pytest.raises(KeyError):
+        REGISTRY.build("nope", 0.1)
 
 
 def test_registry_unknown():
