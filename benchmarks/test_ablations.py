@@ -16,7 +16,6 @@ fields, so variants are declared rather than hand-driven, and their
 proxy statistics come back in the RunSummary.
 """
 
-import pytest
 from conftest import run_once
 
 from repro.experiments import RunSpec

@@ -8,7 +8,6 @@ API, runs it on the 1P baseline and on a MISP uniprocessor
 Run:  python examples/quickstart.py
 """
 
-from repro.exec.ops import Compute
 from repro.workloads.base import WorkloadSpec
 from repro.workloads.runner import run_1p, run_misp
 

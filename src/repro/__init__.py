@@ -18,6 +18,14 @@ Quick start::
     misp = run_misp(workload, ams_count=7)
     print("speedup:", base.cycles / misp.cycles)
 
+Systems (MISP, SMP, 1P, multiprogramming, hybrid partitions, plus any
+backend you register) are composed through :mod:`repro.systems`::
+
+    from repro.systems import Session
+
+    hybrid = Session("hybrid", "1x4+1x2").run("RayTracer", scale=0.1)
+    print("hybrid:", hybrid.cycles)
+
 Whole experiment grids (with shared-run deduplication, parallel
 execution, and on-disk caching) go through :mod:`repro.experiments`::
 
@@ -31,7 +39,19 @@ execution, and on-disk caching) go through :mod:`repro.experiments`::
 from repro.errors import ReproError
 from repro.params import DEFAULT_PARAMS, PAGE_SIZE, MachineParams
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["ReproError", "DEFAULT_PARAMS", "PAGE_SIZE", "MachineParams",
-           "__version__"]
+           "Session", "SYSTEM_REGISTRY", "SystemBackend", "get_system",
+           "register_system", "__version__"]
+
+#: names resolved lazily so ``import repro`` stays dependency-light
+_LAZY = {"Session", "SYSTEM_REGISTRY", "SystemBackend", "get_system",
+         "register_system"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import repro.systems as systems
+        return getattr(systems, name)
+    raise AttributeError(f"module 'repro' has no attribute '{name}'")

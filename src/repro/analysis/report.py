@@ -25,6 +25,7 @@ from repro.analysis.table2 import (
 )
 from repro.core.notation import FIGURE6_CONFIGS, config_name, parse_config
 from repro.experiments import Runner, default_runner
+from repro.systems import SYSTEM_REGISTRY
 
 
 def figure6_text() -> str:
@@ -54,6 +55,9 @@ def full_report(workloads: Optional[Sequence[str]] = None,
     t0 = time.time()
     emit("=" * 70)
     emit("MISP reproduction -- full evaluation report")
+    emit("system backends: " + ", ".join(
+        f"{b.name} ({b.default_config})"
+        for b in SYSTEM_REGISTRY.backends()))
     emit("=" * 70)
 
     emit("\n--- Figure 4: speedup vs 1P (MISP 1x8 vs SMP 8-way) ---")

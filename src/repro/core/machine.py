@@ -29,7 +29,7 @@ into the thread's aggregate save area (Section 2.2) and the AMSs idle
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Iterator, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 from repro.core.notation import config_name
 from repro.core.processor import MISPProcessor

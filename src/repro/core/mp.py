@@ -4,6 +4,12 @@ The partition notation itself (``"4x2"``, ``"1x4+4"``, ``"smp8"``,
 ...) lives in :mod:`repro.core.notation`; this module builds live
 machines from it.  The notation helpers are re-exported here for
 backward compatibility.
+
+:func:`build_machine` is the single machine factory the system
+backends (:mod:`repro.systems.backends`) build on: all-plain-CPU
+partitions are routed through
+:func:`repro.smp.machine.build_smp_machine` so that every SMP-shaped
+machine is complete (``thread_create`` registered) at construction.
 """
 
 from __future__ import annotations
@@ -12,14 +18,15 @@ from typing import Sequence
 
 from repro.core.machine import Machine
 from repro.core.notation import (
-    FIGURE6_CONFIGS, FIGURE7_CONFIGS, config_name, ideal_config_for_load,
-    parse_config, total_sequencers,
+    FIGURE6_CONFIGS, FIGURE7_CONFIGS, FIGURE7_SEQUENCERS, config_name,
+    ideal_config_for_load, parse_config, total_sequencers,
 )
 from repro.params import DEFAULT_PARAMS, MachineParams
 
 __all__ = [
-    "FIGURE6_CONFIGS", "FIGURE7_CONFIGS", "build_machine", "config_name",
-    "ideal_config_for_load", "parse_config", "total_sequencers",
+    "FIGURE6_CONFIGS", "FIGURE7_CONFIGS", "FIGURE7_SEQUENCERS",
+    "build_machine", "config_name", "ideal_config_for_load",
+    "parse_config", "total_sequencers",
 ]
 
 
@@ -28,4 +35,9 @@ def build_machine(config: str | Sequence[int],
                   record_fine_trace: bool = False) -> Machine:
     """Build a machine from a name or an AMS-count tuple."""
     counts = parse_config(config) if isinstance(config, str) else tuple(config)
-    return Machine(counts, params=params, record_fine_trace=record_fine_trace)
+    if counts and not any(counts):
+        from repro.smp.machine import build_smp_machine
+        return build_smp_machine(len(counts), params=params,
+                                 record_fine_trace=record_fine_trace)
+    return Machine(counts, params=params,
+                   record_fine_trace=record_fine_trace)

@@ -29,6 +29,9 @@ from repro.errors import ConfigurationError
 _GROUP_RE = re.compile(r"^(\d+)x(\d+)$")
 _SMP_RE = re.compile(r"^smp(\d+)$")
 
+#: sequencer budget of the paper's multiprogramming study (Section 5.4)
+FIGURE7_SEQUENCERS = 8
+
 #: The configurations evaluated in Figure 7, by paper name.
 FIGURE7_CONFIGS = [
     "4x2", "2x4", "1x8", "1x7+1", "1x6+2", "1x5+3", "1x4+4",

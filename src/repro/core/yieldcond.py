@@ -16,7 +16,7 @@ The mini-ISA exposes the same table through ``YMONITOR``/``YRET``.
 from __future__ import annotations
 
 import enum
-from typing import Any, Callable, Optional
+from typing import Any, Optional
 
 from repro.errors import ConfigurationError
 

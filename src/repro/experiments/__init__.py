@@ -12,6 +12,11 @@ The subsystem separates *what to simulate* from *how it executes*:
   process boundaries (the live :class:`~repro.workloads.runner.RunResult`
   stays in-process).
 
+Systems are resolved through :data:`repro.systems.SYSTEM_REGISTRY`:
+``SYSTEMS`` and ``DEFAULT_CONFIGS`` are live views over it, and
+registering a :class:`~repro.systems.base.SystemBackend` is all it
+takes to make a new system spec-able, grid-able, and cacheable.
+
 Quick start::
 
     from repro.experiments import ExperimentSpec, Runner

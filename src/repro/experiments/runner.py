@@ -20,44 +20,29 @@ from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence, Union
 
 import repro.workloads  # noqa: F401  -- populates the workload registry
-from repro.core.notation import parse_config
-from repro.errors import ConfigurationError
 from repro.experiments.cache import ResultCache
 from repro.experiments.spec import ExperimentSpec, RunSpec
-from repro.experiments.summary import (
-    RunSummary, summarize_multiprog, summarize_run,
-)
-from repro.shredlib.runtime import QueuePolicy
+from repro.experiments.summary import RunSummary
+from repro.systems import Session, get_system
 from repro.workloads.base import REGISTRY
-from repro.workloads.multiprog import run_multiprogram
-from repro.workloads.runner import run_misp, run_smp
 
 
 def execute(spec: RunSpec) -> RunSummary:
     """Run one spec to completion and return its plain-data summary.
 
     Deterministic: the simulation is a pure function of the spec, so
-    equal specs produce equal summaries in any process.
+    equal specs produce equal summaries in any process.  The system is
+    resolved purely through :data:`repro.systems.SYSTEM_REGISTRY`, so
+    any registered backend -- built-in or custom -- executes the same
+    way.  (Backends registered at runtime exist only in the
+    registering process; run them through a serial Runner.)
     """
-    params, policy = spec.params, QueuePolicy(spec.policy)
+    backend = get_system(spec.system)
     workload = REGISTRY.build(spec.workload, spec.scale, **dict(spec.args))
-    if spec.system == "multiprog":
-        result = run_multiprogram(spec.config, spec.background,
-                                  params=params, workload=workload,
-                                  policy=policy, horizon=spec.limit)
-        return summarize_multiprog(result, spec)
-    if spec.system == "misp":
-        counts = parse_config(spec.config)
-        run = run_misp(workload, ams_count=counts[0], params=params,
-                       limit=spec.limit, policy=policy)
-    elif spec.system in ("smp", "1p"):
-        # run_smp(ncpus=1) IS the 1P baseline; going through it (rather
-        # than run_1p) honors the spec's queue policy on both systems
-        run = run_smp(workload, ncpus=len(parse_config(spec.config)),
-                      params=params, limit=spec.limit, policy=policy)
-    else:  # pragma: no cover - RunSpec validates system
-        raise ConfigurationError(f"unknown system '{spec.system}'")
-    return summarize_run(run, spec)
+    run = (Session(backend, spec.config)
+           .params(spec.params).policy(spec.policy).limit(spec.limit)
+           .background(spec.background).run(workload))
+    return backend.summarize(run, spec)
 
 
 @dataclass

@@ -13,6 +13,13 @@ An :class:`ExperimentSpec` is an ordered grid of RunSpecs -- the
 declarative form of "a figure": Figure 4 is ``workloads x {1p, misp,
 smp}``, Figure 7 is ``configs x loads``, and adding a scenario is
 declaring one more RunSpec.
+
+Systems are resolved purely through
+:data:`repro.systems.SYSTEM_REGISTRY`: each backend owns its
+configuration-notation rules (``canonical_config``) and its default
+cycle budget, so registering a backend is all it takes for specs to
+validate, canonicalize, and hash against it.  :data:`SYSTEMS` and
+:data:`DEFAULT_CONFIGS` are live views over that registry.
 """
 
 from __future__ import annotations
@@ -23,24 +30,17 @@ import json
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Optional, Sequence, Union
 
-from repro.core.notation import (
-    config_name, ideal_config_for_load, parse_config,
-)
+from repro.core.notation import FIGURE7_SEQUENCERS
 from repro.errors import ConfigurationError
 from repro.params import DEFAULT_PARAMS, MachineParams
 from repro.shredlib.runtime import QueuePolicy
-from repro.workloads.multiprog import MULTIPROG_HORIZON
+from repro.systems import DEFAULT_CONFIGS, SYSTEM_REGISTRY, SYSTEMS
 from repro.workloads.runner import DEFAULT_LIMIT
 
-#: systems a RunSpec can target
-SYSTEMS = ("misp", "smp", "1p", "multiprog")
-
-#: sequencer budget of the paper's multiprogramming study (Section 5.4)
-FIGURE7_SEQUENCERS = 8
-
-#: default machine configuration per system
-DEFAULT_CONFIGS = {"misp": "1x8", "smp": "smp8", "1p": "smp1",
-                   "multiprog": "1x8"}
+__all__ = [
+    "DEFAULT_CONFIGS", "FIGURE7_SEQUENCERS", "SYSTEMS", "SPEC_VERSION",
+    "ExperimentSpec", "RunSpec",
+]
 
 #: bump to invalidate previously hashed specs after semantic changes
 SPEC_VERSION = 1
@@ -70,11 +70,12 @@ class RunSpec:
     Fields are normalized on construction so that equal simulations
     compare (and hash) equal:
 
-    * ``system`` / ``policy`` are lowercased and validated;
-    * ``config`` is canonicalized through the Figure 6 notation
-      (``"1X8"`` -> ``"1x8"``, ``"smp1"`` on a plain CPU collapses
-      ``smp`` to ``1p``, multiprogramming's ``"ideal"`` resolves to
-      the explicit per-load partition);
+    * ``system`` is resolved through the system registry and
+      ``policy`` is lowercased and validated;
+    * ``config`` is canonicalized by the backend's Figure 6 notation
+      rules (``"1X8"`` -> ``"1x8"``, ``"smp1"`` on a plain CPU
+      collapses ``smp`` to ``1p``, multiprogramming's ``"ideal"``
+      resolves to the explicit per-load partition);
     * ``args`` (extra workload-factory kwargs, e.g. RayTracer's
       ``probe_pages``) become a sorted tuple of pairs.
     """
@@ -83,7 +84,7 @@ class RunSpec:
     system: str = "misp"
     config: str = ""
     scale: Optional[float] = None
-    #: background single-threaded processes (multiprog only)
+    #: background single-threaded processes (multiprogramming systems)
     background: int = 0
     #: gang-scheduler queue policy ("fifo" | "lifo")
     policy: Union[str, QueuePolicy] = "fifo"
@@ -94,10 +95,7 @@ class RunSpec:
 
     def __post_init__(self) -> None:
         s = lambda field, value: object.__setattr__(self, field, value)
-        system = str(self.system).strip().lower()
-        if system not in SYSTEMS:
-            raise ConfigurationError(
-                f"unknown system '{self.system}'; expected one of {SYSTEMS}")
+        backend = SYSTEM_REGISTRY.get(str(self.system).strip().lower())
         policy = (self.policy.value if isinstance(self.policy, QueuePolicy)
                   else str(self.policy).strip().lower())
         QueuePolicy(policy)  # validate
@@ -106,52 +104,21 @@ class RunSpec:
             raise ConfigurationError(f"scale must be positive: {self.scale}")
         if self.background < 0:
             raise ConfigurationError("background must be >= 0")
-        if self.background and system != "multiprog":
+        if self.background and not backend.supports_background:
             raise ConfigurationError(
-                "background processes require system='multiprog'")
+                f"background processes are not supported by system "
+                f"'{backend.name}'; use a multiprogramming system")
         if self.limit <= 0:
             raise ConfigurationError(f"limit must be positive: {self.limit}")
-        if system == "multiprog" and self.limit == DEFAULT_LIMIT:
-            # the untouched generic default means "the multiprog
-            # driver's own horizon", so both drivers time out alike
-            s("limit", MULTIPROG_HORIZON)
+        if self.limit == DEFAULT_LIMIT and backend.default_limit != DEFAULT_LIMIT:
+            # the untouched generic default means "the backend's own
+            # horizon", so both drivers time out alike
+            s("limit", backend.default_limit)
         s("args", _canonical_args(self.args))
-        config = (self.config or DEFAULT_CONFIGS[system]).strip().lower()
-        system, config = self._canonical_config(system, config)
+        config = (self.config or backend.default_config).strip().lower()
+        system, config = backend.canonical_config(config, self.background)
         s("system", system)
         s("config", config)
-
-    def _canonical_config(self, system: str, config: str) -> tuple[str, str]:
-        if system == "multiprog":
-            if config == "smp":          # the 8-way SMP baseline series
-                return system, config
-            if config == "ideal":        # per-load partition (Section 5.4)
-                counts = ideal_config_for_load(FIGURE7_SEQUENCERS,
-                                               self.background)
-            else:
-                counts = parse_config(config)
-            if not any(counts):
-                raise ConfigurationError(
-                    f"multiprog partition '{config}' has no MISP "
-                    "processor to drive the shredded workload; use "
-                    "config='smp' for the SMP multiprogramming baseline")
-            return system, config_name(counts)
-        if system == "1p":
-            return "1p", "smp1"
-        counts = parse_config(config)
-        if system == "smp":
-            if any(counts):
-                raise ConfigurationError(
-                    f"system='smp' needs plain CPUs, got '{config}'")
-            if len(counts) == 1:
-                return "1p", "smp1"
-            return system, config_name(counts)
-        # misp: the single-application runner drives one MISP processor
-        if len(counts) != 1:
-            raise ConfigurationError(
-                f"system='misp' runs on one MISP processor, got '{config}'; "
-                "use system='multiprog' for MP partitions")
-        return system, config_name(counts)
 
     # ------------------------------------------------------------------
     # Content addressing

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Mapping, Optional
+from typing import TYPE_CHECKING, Any, Mapping, Optional, Union
 
 from repro.sim.trace import EventKind
 
@@ -148,7 +148,7 @@ def summarize_run(result: "RunResult",
         config=result.config,
         cycles=result.cycles,
         scale=spec.scale if spec else None,
-        background=0,
+        background=getattr(result, "background", 0),
         events=result.serializing_events(),
         proxy=proxy,
         utilization=util,
@@ -158,10 +158,19 @@ def summarize_run(result: "RunResult",
     )
 
 
-def summarize_multiprog(result: "MultiprogResult",
+def summarize_multiprog(result: Union["MultiprogResult", "RunResult"],
                         spec: Optional["RunSpec"] = None) -> RunSummary:
-    """Flatten a multiprogramming run (Figure 7) into a summary."""
+    """Flatten a multiprogramming run (Figure 7) into a summary.
+
+    Accepts the legacy :class:`MultiprogResult` (whose cycle count is
+    ``raytracer_cycles``) or the unified
+    :class:`~repro.workloads.runner.RunResult` a multiprog
+    :class:`~repro.systems.session.Session` returns.
+    """
     machine = result.machine
+    cycles = getattr(result, "raytracer_cycles", None)
+    if cycles is None:
+        cycles = result.cycles
     trace = machine.trace
     oms_ids, ams_ids = machine.oms_ids(), machine.ams_ids()
     events = {
@@ -174,10 +183,11 @@ def summarize_multiprog(result: "MultiprogResult",
     }
     proxy, util = _machine_totals(machine)
     return RunSummary(
-        workload=spec.workload if spec else "RayTracer",
-        system="multiprog",
+        workload=spec.workload if spec else getattr(result, "workload",
+                                                    "RayTracer"),
+        system=getattr(result, "system", "multiprog"),
         config=result.config,
-        cycles=result.raytracer_cycles,
+        cycles=cycles,
         scale=spec.scale if spec else None,
         background=result.background,
         events=events,

@@ -21,7 +21,6 @@ Example::
 from __future__ import annotations
 
 import re
-from typing import Optional
 
 from repro.errors import AssemblerError
 from repro.isa.instructions import NUM_REGS, SP, Instruction, Opcode

@@ -14,7 +14,7 @@ represented here by :attr:`OSThread.ams_save_area`.
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional
+from typing import TYPE_CHECKING, Any, Iterator, Optional
 
 from repro.mem.addrspace import AddressSpace
 

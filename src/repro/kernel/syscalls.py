@@ -9,7 +9,7 @@ registry exists so workloads can speak in named services ("write",
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Optional
 
 from repro.errors import ConfigurationError
 

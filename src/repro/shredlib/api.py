@@ -15,9 +15,8 @@ primitive.  All methods that do work are generators -- call them with
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, Optional, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
-from repro.errors import ShredLibError
 from repro.exec.context import ExecContext
 from repro.exec.ops import AtomicOp, Block, Compute, ExitShred, Op, YieldShred
 from repro.shredlib.runtime import ShredRuntime

@@ -16,9 +16,8 @@ Table 2 porting study measures.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, Optional
+from typing import Any, Callable, Iterator
 
-from repro.errors import ShredLibError
 from repro.exec.ops import Op
 from repro.shredlib.api import ShredAPI
 from repro.shredlib.shred import Shred

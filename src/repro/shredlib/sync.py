@@ -22,7 +22,7 @@ lock-prefixed instruction that makes this true on real hardware.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Iterator
 
 from repro.errors import ShredLibError
 from repro.exec.ops import AtomicOp, Block, Op

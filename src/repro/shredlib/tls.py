@@ -13,7 +13,7 @@ In direct-execution mode TLS is a per-shred dictionary keyed by
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 from repro.errors import ShredLibError
 from repro.shredlib.shred import Shred

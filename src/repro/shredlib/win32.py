@@ -10,15 +10,12 @@ auto-reset flavours, and critical sections spin before blocking.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, Optional, Sequence, Union
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.errors import ShredLibError
 from repro.exec.ops import Op
 from repro.shredlib.api import ShredAPI
-from repro.shredlib.shred import Shred
-from repro.shredlib.sync import (
-    CriticalSection, ShredEventObject, ShredMutex, ShredSemaphore,
-)
+from repro.shredlib.sync import CriticalSection
 
 #: Win32 wait return codes
 WAIT_OBJECT_0 = 0

@@ -4,10 +4,10 @@ Importing this package populates :data:`repro.workloads.base.REGISTRY`
 with the 16 applications of the paper's Section 5 evaluation.
 """
 
-from repro.workloads import legacy, rms, speccomp  # registers the suites
+from repro.workloads import legacy, rms, speccomp  # noqa: F401 -- registers the suites
 from repro.workloads.base import REGISTRY, WorkloadRegistry, WorkloadSpec
 from repro.workloads.runner import (
-    DEFAULT_LIMIT, RunResult, run_1p, run_misp, run_smp,
+    DEFAULT_LIMIT, RunResult, run_1p, run_hybrid, run_misp, run_smp,
 )
 
 #: the 11 RMS + 5 SPEComp applications of Figure 4 / Table 1, in the
@@ -20,5 +20,6 @@ FIGURE4_ORDER = [
 
 __all__ = [
     "REGISTRY", "WorkloadRegistry", "WorkloadSpec", "DEFAULT_LIMIT",
-    "RunResult", "run_1p", "run_misp", "run_smp", "FIGURE4_ORDER",
+    "RunResult", "run_1p", "run_hybrid", "run_misp", "run_smp",
+    "FIGURE4_ORDER",
 ]

@@ -18,7 +18,7 @@ workload can size its shred count (M >= N, Section 3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
 
 from repro.exec.ops import Op

@@ -19,7 +19,7 @@ profiles and the Figure 4 scalability of each application.
 from __future__ import annotations
 
 import random
-from typing import Callable, Iterator, Optional, Sequence
+from typing import Callable, Iterator, Sequence
 
 from repro.exec.ops import Op
 from repro.mem.addrspace import Region

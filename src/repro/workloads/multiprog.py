@@ -14,6 +14,13 @@ Configurations are the Figure 6 partitions of eight sequencers
 baseline running RayTracer as eight worker threads) and "ideal" (the
 per-load uneven partition 1x(8-N)+N that gives each background process
 its own AMS-less OMS).
+
+The staging and drive loop live in
+:class:`repro.systems.backends.MultiprogBackend`;
+:func:`run_multiprogram` is a compatibility wrapper over a
+``Session("multiprog", ...)``.  This module keeps the driver-level
+constants, the CPU-bound :func:`background_body` the backend stages,
+and the Figure 7 curve helper.
 """
 
 from __future__ import annotations
@@ -22,30 +29,25 @@ from dataclasses import dataclass
 from typing import Iterator, Optional, Sequence
 
 from repro.core.machine import Machine
-from repro.core.mp import build_machine, ideal_config_for_load, parse_config
-from repro.errors import SimulationError
-from repro.exec.context import ExecContext
+from repro.core.mp import (
+    FIGURE7_SEQUENCERS, config_name, ideal_config_for_load,
+)
 from repro.exec.ops import Compute, Op
 from repro.params import DEFAULT_PARAMS, MachineParams
-from repro.shredlib.api import ShredAPI
-from repro.shredlib.runtime import QueuePolicy, ShredRuntime
+from repro.shredlib.runtime import QueuePolicy
 from repro.workloads.base import WorkloadSpec
 from repro.workloads.rms.raytracer import make_raytracer
-from repro.workloads.runner import (
-    misp_thread_body, smp_main_body, _ensure_thread_create, _setup,
-)
 
 #: RayTracer size used for the sweep (full scale is unnecessarily slow
 #: for a 45-run experiment; the curve is a ratio of its own runtimes)
 DEFAULT_RT_SCALE = 0.15
 
-#: simulation slice while polling for RayTracer completion
-_SLICE = 100_000_000
+#: simulation slice while polling for application completion
+MULTIPROG_SLICE = 100_000_000
 
 #: absolute per-run budget before declaring a hang (shared with the
 #: experiment layer so both drivers time out identically)
 MULTIPROG_HORIZON = 200_000_000_000
-_HORIZON = MULTIPROG_HORIZON
 
 
 def background_body() -> Iterator[Op]:
@@ -65,57 +67,20 @@ class MultiprogResult:
 def run_multiprogram(config: str, background: int,
                      rt_scale: float = DEFAULT_RT_SCALE,
                      params: MachineParams = DEFAULT_PARAMS,
-                     horizon: int = _HORIZON,
+                     horizon: int = MULTIPROG_HORIZON,
                      workload: Optional[WorkloadSpec] = None,
                      policy: QueuePolicy = QueuePolicy.FIFO
                      ) -> MultiprogResult:
     """Run a shredded workload (default: RayTracer at ``rt_scale``)
     plus N background processes on one configuration."""
+    from repro.systems import Session
     if workload is None:
         workload = make_raytracer(scale=rt_scale)
-    if config == "smp":
-        machine = build_machine("smp8", params=params)
-        _ensure_thread_create(machine)
-        process, rt, api = _setup(machine, workload, params)
-        machine.spawn_thread(
-            process, "raytracer-main",
-            smp_main_body(machine, process, rt, api, workload,
-                          nworkers=machine.num_cpus))
-    elif config == "ideal":
-        counts = ideal_config_for_load(8, background)
-        machine = build_machine(counts, params=params)
-        process, rt, api = _setup(machine, workload, params)
-        thread = machine.spawn_thread(
-            process, "raytracer-main",
-            misp_thread_body(machine, 0, rt, api, workload,
-                             nworkers=1 + counts[0]),
-            pinned_cpu=0)
-        thread.is_shredded = counts[0] > 0
-    else:
-        counts = parse_config(config)
-        machine = build_machine(counts, params=params)
-        process, rt, api = _setup(machine, workload, params)
-        thread = machine.spawn_thread(
-            process, "raytracer-main",
-            misp_thread_body(machine, 0, rt, api, workload,
-                             nworkers=1 + counts[0]),
-            pinned_cpu=0)
-        thread.is_shredded = counts[0] > 0
-
-    rt.policy = policy
-    for i in range(background):
-        bg = machine.spawn_process(f"background-{i}")
-        machine.spawn_thread(bg, f"bg-{i}", background_body())
-
-    machine.start_timers()
-    while not process.exited and machine.now < horizon:
-        machine.run(until=min(machine.now + _SLICE, horizon))
-    if not process.exited:
-        raise SimulationError(
-            f"'{workload.name}' did not finish on '{config}' with "
-            f"{background} background processes within {horizon} cycles")
-    machine.stop()
-    return MultiprogResult(config, background, process.exit_time, machine)
+    run = (Session("multiprog", config)
+           .params(params).policy(policy).limit(horizon)
+           .background(background).run(workload))
+    # keep the caller's series name ("ideal", "smp") on the result
+    return MultiprogResult(config, background, run.cycles, run.machine)
 
 
 def speedup_curve(config: str, loads: Sequence[int] = range(5),
@@ -148,18 +113,5 @@ def speedup_curve(config: str, loads: Sequence[int] = range(5),
 def _ideal_unloaded(load: int, rt_scale: float,
                     params: MachineParams) -> int:
     """Unloaded RayTracer runtime on the load-``load`` ideal partition."""
-    counts = ideal_config_for_load(8, load)
-    workload = make_raytracer(scale=rt_scale)
-    machine = build_machine(counts, params=params)
-    process, rt, api = _setup(machine, workload, params)
-    thread = machine.spawn_thread(
-        process, "raytracer-main",
-        misp_thread_body(machine, 0, rt, api, workload,
-                         nworkers=1 + counts[0]),
-        pinned_cpu=0)
-    thread.is_shredded = counts[0] > 0
-    machine.start_timers()
-    while not process.exited and machine.now < _HORIZON:
-        machine.run(until=machine.now + _SLICE)
-    machine.stop()
-    return process.exit_time
+    partition = config_name(ideal_config_for_load(FIGURE7_SEQUENCERS, load))
+    return run_multiprogram(partition, 0, rt_scale, params).raytracer_cycles

@@ -1,30 +1,33 @@
-"""Run workloads on MISP, SMP, and 1P systems.
+"""Staging primitives and legacy run functions for the system backends.
 
-This is the experiment driver used by every benchmark: it assembles a
-machine, a process, a ShredLib runtime, and the workload's shreds, and
-runs to completion.  The two system builders mirror Section 5.2's
-methodology:
+This module holds the building blocks every system backend composes
+(Section 5.2's methodology):
 
-* :func:`run_misp` -- the application is ONE OS thread.  Its body
-  registers the proxy handler, pushes the main shred, ``SIGNAL``\\ s a
-  gang scheduler onto every AMS (Figure 3), and then runs a gang
-  scheduler itself on the OMS.
-* :func:`run_smp` -- the same application code runs as ``ncpus`` OS
-  threads (one gang scheduler each), the way an OpenMP runtime would
-  run it on a real SMP.
-* :func:`run_1p` -- one CPU, one gang scheduler: the sequential
-  baseline all Figure 4 speedups are normalized to.
+* :func:`misp_group_body` / :func:`misp_thread_body` -- the body of a
+  multi-shredded OS thread (Figure 3): register the proxy handler,
+  push the main shred, ``SIGNAL`` a gang scheduler onto every AMS,
+  then run a gang scheduler on the OMS;
+* :func:`smp_main_body` / :func:`smp_worker_body` -- the same
+  application code run as ``ncpus`` OS threads (one gang scheduler
+  each), the way an OpenMP runtime would run it on a real SMP;
+* :func:`_setup` -- process + runtime + API plumbing shared by all.
+
+The actual system assembly lives in :mod:`repro.systems`: backends
+(``misp``, ``smp``, ``1p``, ``multiprog``, ``hybrid``, ...) stage
+these bodies onto machines, and the composable
+:class:`~repro.systems.session.Session` builder drives them.
+:func:`run_misp`, :func:`run_smp`, :func:`run_1p`, and
+:func:`run_hybrid` are thin compatibility wrappers over sessions.
 """
 
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.core.machine import Machine
-from repro.core.mp import build_machine, config_name
-from repro.errors import ConfigurationError
+from repro.core.mp import config_name
 from repro.exec.context import ExecContext
 from repro.exec.ops import Op, SignalShred, SyscallOp
 from repro.kernel.process import OSThread, Process
@@ -34,7 +37,6 @@ from repro.shredlib.proxyhandler import GenericProxyHandler
 from repro.shredlib.runtime import QueuePolicy, ShredRuntime
 from repro.shredlib.scheduler import gang_scheduler
 from repro.sim.trace import EventKind
-from repro.smp.machine import build_smp_machine
 from repro.workloads.base import WorkloadSpec
 
 #: default per-run cycle budget before declaring a hang
@@ -46,12 +48,14 @@ class RunResult:
     """Outcome of one workload execution."""
 
     workload: str
-    system: str           # "misp" | "smp" | "1p"
-    config: str           # e.g. "1x8", "smp8"
+    system: str           # a SYSTEM_REGISTRY name (possibly redirected)
+    config: str           # e.g. "1x8", "smp8", "1x4+1x2"
     cycles: int           # process completion time
     machine: Machine
     runtime: ShredRuntime
     main_thread: OSThread
+    #: background single-threaded processes (multiprogramming runs)
+    background: int = 0
 
     # ------------------------------------------------------------------
     # Event accounting (the Table 1 view of this run)
@@ -88,6 +92,33 @@ def _setup(machine: Machine, workload: WorkloadSpec,
     return process, rt, api
 
 
+def misp_group_body(machine: Machine, proc_index: int, rt: ShredRuntime,
+                    api: ShredAPI, workload: Optional[WorkloadSpec],
+                    nworkers: int, worker_base: int = 0) -> Iterator[Op]:
+    """Body of one multi-shredded OS thread driving one MISP processor.
+
+    The generalization behind Figure 3 that multi-processor (hybrid)
+    partitions stage once per MISP processor: gang-scheduler worker
+    ids start at ``worker_base`` (they must be unique runtime-wide),
+    and only the *primary* group -- the one given a ``workload`` --
+    instantiates and pushes the main shred.
+    """
+    processor = machine.processors[proc_index]
+    handler = GenericProxyHandler()
+    handler.register(processor)
+    yield from GenericProxyHandler.registration_ops(rt.params)
+    if workload is not None:
+        main = rt.new_shred(workload.instantiate(api, nworkers), name="main")
+        # the main shred is the primary OS thread's own execution
+        main.affinity = worker_base
+        rt.set_main(main)
+        rt.push(main)
+    for sid in range(1, len(processor.amss) + 1):
+        yield SignalShred(sid, gang_scheduler(rt, worker_id=worker_base + sid),
+                          label=f"gang-{worker_base + sid}")
+    yield from gang_scheduler(rt, worker_id=worker_base)
+
+
 def misp_thread_body(machine: Machine, proc_index: int, rt: ShredRuntime,
                      api: ShredAPI, workload: WorkloadSpec,
                      nworkers: int) -> Iterator[Op]:
@@ -95,37 +126,8 @@ def misp_thread_body(machine: Machine, proc_index: int, rt: ShredRuntime,
 
     Exposed publicly so the Figure 7 driver can build mixed workloads.
     """
-    processor = machine.processors[proc_index]
-    handler = GenericProxyHandler()
-    handler.register(processor)
-    yield from GenericProxyHandler.registration_ops(rt.params)
-    main = rt.new_shred(workload.instantiate(api, nworkers), name="main")
-    main.affinity = 0  # the main shred is the OS thread's own execution
-    rt.set_main(main)
-    rt.push(main)
-    for sid in range(1, len(processor.amss) + 1):
-        yield SignalShred(sid, gang_scheduler(rt, worker_id=sid),
-                          label=f"gang-{sid}")
-    yield from gang_scheduler(rt, worker_id=0)
-
-
-def run_misp(workload: WorkloadSpec, ams_count: int = 7,
-             params: MachineParams = DEFAULT_PARAMS,
-             limit: int = DEFAULT_LIMIT,
-             policy: QueuePolicy = QueuePolicy.FIFO) -> RunResult:
-    """Run a workload on a MISP uniprocessor with ``ams_count`` AMSs."""
-    machine = build_machine([ams_count], params=params)
-    process, rt, api = _setup(machine, workload, params)
-    rt.policy = policy
-    nworkers = 1 + ams_count
-    thread = machine.spawn_thread(
-        process, f"{workload.name}-main",
-        misp_thread_body(machine, 0, rt, api, workload, nworkers),
-        pinned_cpu=0)
-    thread.is_shredded = ams_count > 0
-    cycles = machine.run_to_completion(limit)
-    return RunResult(workload.name, "misp", config_name([ams_count]),
-                     process.exit_time or cycles, machine, rt, thread)
+    yield from misp_group_body(machine, proc_index, rt, api, workload,
+                               nworkers, worker_base=0)
 
 
 def smp_worker_body(rt: ShredRuntime, worker_id: int) -> Iterator[Op]:
@@ -149,35 +151,48 @@ def smp_main_body(machine: Machine, process: Process, rt: ShredRuntime,
     yield from gang_scheduler(rt, worker_id=0)
 
 
+# ----------------------------------------------------------------------
+# Legacy run functions: thin wrappers over repro.systems.Session
+# ----------------------------------------------------------------------
+def run_misp(workload: WorkloadSpec, ams_count: int = 7,
+             params: MachineParams = DEFAULT_PARAMS,
+             limit: int = DEFAULT_LIMIT,
+             policy: QueuePolicy = QueuePolicy.FIFO) -> RunResult:
+    """Run a workload on a MISP uniprocessor with ``ams_count`` AMSs."""
+    from repro.systems import Session
+    return (Session("misp", config_name([ams_count]))
+            .params(params).policy(policy).limit(limit).run(workload))
+
+
 def run_smp(workload: WorkloadSpec, ncpus: int = 8,
             params: MachineParams = DEFAULT_PARAMS,
             limit: int = DEFAULT_LIMIT,
             policy: QueuePolicy = QueuePolicy.FIFO) -> RunResult:
     """Run a workload on the ``ncpus``-way SMP baseline."""
-    machine = build_smp_machine(ncpus, params=params)
-    _ensure_thread_create(machine)
-    process, rt, api = _setup(machine, workload, params)
-    rt.policy = policy
-    thread = machine.spawn_thread(
-        process, f"{workload.name}-main",
-        smp_main_body(machine, process, rt, api, workload, ncpus))
-    cycles = machine.run_to_completion(limit)
-    return RunResult(workload.name, "smp" if ncpus > 1 else "1p",
-                     f"smp{ncpus}", process.exit_time or cycles,
-                     machine, rt, thread)
+    from repro.systems import Session
+    return (Session("smp", f"smp{ncpus}")
+            .params(params).policy(policy).limit(limit).run(workload))
 
 
 def run_1p(workload: WorkloadSpec,
            params: MachineParams = DEFAULT_PARAMS,
-           limit: int = DEFAULT_LIMIT) -> RunResult:
+           limit: int = DEFAULT_LIMIT,
+           policy: QueuePolicy = QueuePolicy.FIFO) -> RunResult:
     """Single-sequencer baseline run (Figure 4's denominator)."""
-    return run_smp(workload, ncpus=1, params=params, limit=limit)
+    return run_smp(workload, ncpus=1, params=params, limit=limit,
+                   policy=policy)
 
 
-def _ensure_thread_create(machine: Machine) -> None:
-    """Register the thread_create syscall if this kernel lacks it."""
-    from repro.kernel.syscalls import SyscallSpec
-    try:
-        machine.kernel.syscalls.lookup("thread_create")
-    except ConfigurationError:
-        machine.kernel.syscalls.register(SyscallSpec("thread_create"))
+def run_hybrid(workload: WorkloadSpec, config: str = "1x4+1x2",
+               params: MachineParams = DEFAULT_PARAMS,
+               limit: int = DEFAULT_LIMIT,
+               policy: QueuePolicy = QueuePolicy.FIFO) -> RunResult:
+    """Run a workload shredded across a multi-group MISP partition.
+
+    Every MISP processor in ``config`` (e.g. ``"1x4+1x2"``) drives its
+    own gang of shreds via its own OS thread; plain CPUs, if any, run
+    bare gang-scheduler worker threads.
+    """
+    from repro.systems import Session
+    return (Session("hybrid", config)
+            .params(params).policy(policy).limit(limit).run(workload))

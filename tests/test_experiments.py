@@ -4,7 +4,7 @@ of every table and figure, asserting the paper's qualitative shapes."""
 import pytest
 
 from repro.analysis import (
-    FIGURE5_SIGNAL_COSTS, format_figure4, format_figure5, format_figure7,
+    format_figure4, format_figure5, format_figure7,
     format_table1, measured_row, paper_row_scaled, run_figure4,
     sensitivity_from_run,
 )
@@ -13,7 +13,7 @@ from repro.analysis.table1 import PAPER_TABLE1
 from repro.analysis.table2 import (
     ode_restructuring_speedup, run_table2,
 )
-from repro.workloads.multiprog import run_multiprogram, speedup_curve
+from repro.workloads.multiprog import speedup_curve
 
 SUBSET = ["dense_mmm", "gauss", "RayTracer", "swim"]
 

@@ -1,7 +1,7 @@
 """Property-based tests (hypothesis) on core data structures and
 invariants."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.overhead import (

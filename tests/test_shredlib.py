@@ -14,9 +14,8 @@ from repro.params import DEFAULT_PARAMS
 from repro.shredlib import (
     PthreadsAPI, QueuePolicy, ShredRuntime, ShredState, TlsKey, Win32API,
 )
-from repro.shredlib.log import ShredEvent
 from repro.workloads.base import WorkloadSpec
-from repro.workloads.runner import run_1p, run_misp
+from repro.workloads.runner import run_misp
 
 
 def run_program(build, ams_count=3, policy=QueuePolicy.FIFO):
