@@ -8,12 +8,18 @@ Demonstrates the repro.systems API end to end:
    whose inter-sequencer signal is free -- and register it;
 3. run the custom system through the experiment Runner purely by
    name: registering the backend is all it takes to make it
-   spec-able, grid-able, and cacheable.
+   spec-able, grid-able, and cacheable;
+4. override a backend's *memory-hierarchy topology*: ``build_machine``
+   is where a backend declares how sequencers share caches, so a
+   subclass can ask what one machine-wide L2 would buy.
 
 Run me:  PYTHONPATH=src python examples/custom_backend.py
 """
 
-from repro.experiments import ExperimentSpec, Runner
+from repro.core.mp import build_machine
+from repro.core.notation import parse_config
+from repro.experiments import ExperimentSpec, Runner, summarize_run
+from repro.mem.hierarchy import shared_l2_global
 from repro.params import DEFAULT_PARAMS
 from repro.systems import SYSTEM_REGISTRY, MispBackend, Session
 
@@ -31,6 +37,23 @@ class TurboMispBackend(MispBackend):
     def build_machine(self, config, params):
         return super().build_machine(config, params.with_changes(
             signal_cost=0))
+
+
+class GlobalL2MispBackend(MispBackend):
+    """MISP behind one machine-wide shared L2 (a topology what-if).
+
+    The built-in backends declare their hierarchy topology in
+    ``build_machine`` (MISP: one L2 per processor; SMP: private L2
+    per core); overriding it is one argument.
+    """
+
+    name = "misp_gl2"
+    default_config = "1x8"
+    description = "MISP with a single machine-wide L2"
+
+    def build_machine(self, config, params):
+        return build_machine(parse_config(config), params=params,
+                             hierarchy=shared_l2_global)
 
 
 def main() -> None:
@@ -54,6 +77,18 @@ def main() -> None:
     print(f"\nturbo speedup over misp: "
           f"{misp.cycles / turbo.cycles:.3f}x "
           f"(signal cost {DEFAULT_PARAMS.signal_cost} -> 0)")
+
+    # --- 4. hierarchy-topology override ------------------------------
+    SYSTEM_REGISTRY.register(GlobalL2MispBackend())
+    print("\nshared vs private caches (same workload, default params):")
+    for result in (Session("misp", "1x8").run(WORKLOAD, scale=SCALE),
+                   Session("misp_gl2").run(WORKLOAD, scale=SCALE),
+                   Session("smp", "smp8").run(WORKLOAD, scale=SCALE)):
+        mem = summarize_run(result).mem
+        print(f"  {result.system:9s} L2 hits {mem.l2_hits:>6,}  "
+              f"L1 inval {mem.l1_invalidations:>5,}  "
+              f"L2 inval {mem.l2_invalidations:>5,}  "
+              f"mem accesses {mem.mem_accesses:>6,}")
 
 
 if __name__ == "__main__":

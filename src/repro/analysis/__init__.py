@@ -20,6 +20,10 @@ from repro.analysis.figure7 import (
     FIGURE7_SERIES, Figure7Result, figure7_experiment, format_figure7,
     run_figure7,
 )
+from repro.analysis.figure_mem import (
+    FIGURE_MEM_COSTS, MemSensitivityRow, figure_mem_experiment,
+    format_figure_mem, run_figure_mem,
+)
 from repro.analysis.table1 import (
     PAPER_TABLE1, EventRow, format_table1, measured_row, paper_row_scaled,
     run_table1, table1_experiment,
@@ -34,7 +38,9 @@ __all__ = [
     "run_figure4", "FIGURE5_SIGNAL_COSTS", "SensitivityRow",
     "figure5_experiment", "format_figure5", "run_figure5",
     "sensitivity_from_run", "FIGURE7_SERIES", "Figure7Result",
-    "figure7_experiment", "format_figure7", "run_figure7", "PAPER_TABLE1",
+    "figure7_experiment", "format_figure7", "run_figure7",
+    "FIGURE_MEM_COSTS", "MemSensitivityRow", "figure_mem_experiment",
+    "format_figure_mem", "run_figure_mem", "PAPER_TABLE1",
     "EventRow", "format_table1", "measured_row", "paper_row_scaled",
     "run_table1", "table1_experiment", "PortRow", "format_table2",
     "ode_restructuring_speedup", "run_table2", "table2_experiment",

@@ -1,0 +1,141 @@
+"""Figure M: sensitivity to the memory hierarchy (a new sweep axis).
+
+The paper fixes the memory system and sweeps the signal cost
+(Figure 5); with the hierarchy modelled in :mod:`repro.mem.hierarchy`
+the dual experiment becomes possible: hold the MISP parameters fixed
+and sweep the *miss penalty* (``MachineParams.mem_cost``), comparing
+the three Figure 4 systems at every point.  Because MISP shreds share
+their processor's L2 while SMP workers run behind private L2s, the
+sweep separates the two effects the hierarchy models:
+
+* both parallel speedups stay well above 1 but *decline* monotonically
+  as memory slows: the 1P baseline runs the whole gang through one L1
+  (its working set stays warm), while eight sequencers split the
+  working set and re-miss on migrated shreds, so a larger miss
+  penalty taxes the parallel systems relatively more;
+* the MISP-vs-SMP gap tracks the coherence/sharing difference the
+  flat-memory model could not express: MISP's lock and data ping-pong
+  refills from the shared L2, SMP's goes to memory through cross-L2
+  invalidations.
+
+Declared as a ``mem_cost x {1p, misp, smp}`` grid of RunSpecs, so the
+Runner deduplicates, parallelizes, and caches it like every other
+figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.figure4 import DEFAULT_AMS_COUNT, _systems
+from repro.experiments import (
+    ExperimentSpec, MemorySummary, Runner, RunSpec, default_runner,
+)
+from repro.params import DEFAULT_PARAMS, MachineParams
+
+#: miss penalties (cycles) evaluated by the sweep; the default
+#: ``mem_cost`` (60) sits at the low end, 960 models a deep
+#: memory-bound regime
+FIGURE_MEM_COSTS = (15, 60, 240, 960)
+
+#: the workload the sweep defaults to (most memory-intensive scaling)
+DEFAULT_WORKLOAD = "RayTracer"
+
+
+@dataclass(frozen=True)
+class MemSensitivityRow:
+    """One ``mem_cost`` point: the three systems plus MISP/SMP cache
+    behaviour."""
+
+    workload: str
+    mem_cost: int
+    cycles_1p: int
+    cycles_misp: int
+    cycles_smp: int
+    misp_mem: MemorySummary
+    smp_mem: MemorySummary
+
+    @property
+    def misp_speedup(self) -> float:
+        return self.cycles_1p / self.cycles_misp
+
+    @property
+    def smp_speedup(self) -> float:
+        return self.cycles_1p / self.cycles_smp
+
+    @property
+    def misp_vs_smp(self) -> float:
+        """Relative MISP slowdown vs SMP (positive = MISP slower)."""
+        return self.cycles_misp / self.cycles_smp - 1.0
+
+
+def figure_mem_experiment(workload: str = DEFAULT_WORKLOAD,
+                          mem_costs: Sequence[int] = FIGURE_MEM_COSTS,
+                          ams_count: int = DEFAULT_AMS_COUNT,
+                          params: MachineParams = DEFAULT_PARAMS,
+                          scale: Optional[float] = None) -> ExperimentSpec:
+    """Declare the sweep grid: ``mem_costs x {1p, misp, smp}``."""
+    runs = []
+    for mem_cost in mem_costs:
+        swept = params.with_changes(mem_cost=mem_cost)
+        for system, config in _systems(ams_count):
+            runs.append(RunSpec(workload, system, config, scale=scale,
+                                params=swept))
+    return ExperimentSpec("figure_mem", tuple(runs))
+
+
+def run_figure_mem(workload: str = DEFAULT_WORKLOAD,
+                   mem_costs: Sequence[int] = FIGURE_MEM_COSTS,
+                   ams_count: int = DEFAULT_AMS_COUNT,
+                   params: MachineParams = DEFAULT_PARAMS,
+                   scale: Optional[float] = None,
+                   runner: Optional[Runner] = None
+                   ) -> list[MemSensitivityRow]:
+    """Execute the sweep and collect one row per miss penalty."""
+    runner = runner or default_runner()
+    result = runner.run_experiment(
+        figure_mem_experiment(workload, mem_costs, ams_count, params, scale))
+    spec_1p, spec_misp, spec_smp = _systems(ams_count)
+    rows: list[MemSensitivityRow] = []
+    for mem_cost in mem_costs:
+        swept = params.with_changes(mem_cost=mem_cost)
+        per_system = {
+            system: result[RunSpec(workload, system, config, scale=scale,
+                                   params=swept)]
+            for system, config in (spec_1p, spec_misp, spec_smp)
+        }
+        rows.append(MemSensitivityRow(
+            workload, mem_cost,
+            per_system["1p"].cycles,
+            per_system["misp"].cycles,
+            per_system["smp"].cycles,
+            per_system["misp"].mem,
+            per_system["smp"].mem))
+    return rows
+
+
+def format_figure_mem(rows: Sequence[MemSensitivityRow]) -> str:
+    """Render the sweep as a table of speedups and cache behaviour."""
+    if not rows:
+        return "figure_mem: no rows"
+    header = (f"{rows[0].workload}: {'mem_cost':>8s} {'MISP':>6s} "
+              f"{'SMP':>6s} {'Δ(M/S)':>8s}   "
+              f"{'L2 hit% M/S':>12s} {'L1 inval M/S':>14s}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{'':{len(rows[0].workload) + 1}s} {row.mem_cost:>8d} "
+            f"{row.misp_speedup:6.2f} {row.smp_speedup:6.2f} "
+            f"{row.misp_vs_smp * 100:+7.2f}%   "
+            f"{row.misp_mem.l2_hit_rate * 100:5.1f}/"
+            f"{row.smp_mem.l2_hit_rate * 100:<5.1f} "
+            f"{row.misp_mem.l1_invalidations:>6d}/"
+            f"{row.smp_mem.l1_invalidations:<6d}")
+    first, last = rows[0], rows[-1]
+    lines.append(
+        f"MISP speedup {first.misp_speedup:.2f} -> {last.misp_speedup:.2f} "
+        f"as mem_cost {first.mem_cost} -> {last.mem_cost} "
+        f"(shared-L2 hierarchy; SMP pays "
+        f"{last.smp_mem.l2_invalidations} cross-L2 invalidations)")
+    return "\n".join(lines)

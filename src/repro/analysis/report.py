@@ -19,6 +19,7 @@ from typing import Optional, Sequence
 from repro.analysis.figure4 import format_figure4, run_figure4
 from repro.analysis.figure5 import format_figure5, run_figure5
 from repro.analysis.figure7 import format_figure7, run_figure7
+from repro.analysis.figure_mem import format_figure_mem, run_figure_mem
 from repro.analysis.table1 import format_table1, run_table1
 from repro.analysis.table2 import (
     format_table2, ode_restructuring_speedup, run_table2,
@@ -69,6 +70,17 @@ def full_report(workloads: Optional[Sequence[str]] = None,
 
     emit("\n--- Figure 5: sensitivity to signal cost ---")
     emit(format_figure5(run_figure5(names, scale=scale, runner=runner)))
+
+    emit("\n--- Figure M: sensitivity to memory cost (new axis) ---")
+    emit(format_figure_mem(run_figure_mem(workload=names[0], scale=scale,
+                                          runner=runner)))
+    sample = fig4.misp_summaries[names[0]].mem
+    emit(f"{names[0]} on MISP: {sample.accesses:,} hierarchy accesses, "
+         f"L1 {sample.l1_hit_rate * 100:.1f}% / "
+         f"L2 {sample.l2_hit_rate * 100:.1f}% hit, "
+         f"{sample.l1_invalidations} L1 invalidations, "
+         f"TLB {sample.tlb_hits:,}h/{sample.tlb_misses:,}m/"
+         f"{sample.tlb_flushes}f")
 
     emit("\n--- " + figure6_text())
 

@@ -42,8 +42,9 @@ from repro.exec.ops import (
 from repro.exec.stream import DirectStream, InstructionStream
 from repro.kernel.kernel import Kernel
 from repro.kernel.process import OSThread, Process, ThreadState
+from repro.mem.hierarchy import HierarchyFactory, shared_l2_per_processor
 from repro.mem.pagetable import vpn_of
-from repro.params import DEFAULT_PARAMS, MachineParams
+from repro.params import DEFAULT_PARAMS, PAGE_SIZE, MachineParams
 from repro.sim.engine import Engine
 from repro.sim.trace import EventKind, TraceLog
 
@@ -53,7 +54,8 @@ class Machine:
 
     def __init__(self, ams_per_processor: Sequence[int],
                  params: MachineParams = DEFAULT_PARAMS,
-                 record_fine_trace: bool = False) -> None:
+                 record_fine_trace: bool = False,
+                 hierarchy: Optional[HierarchyFactory] = None) -> None:
         if not ams_per_processor:
             raise ConfigurationError("need at least one processor")
         if any(n < 0 for n in ams_per_processor):
@@ -70,6 +72,11 @@ class Machine:
             oms = self._new_sequencer(SequencerRole.OMS)
             amss = [self._new_sequencer(SequencerRole.AMS) for _ in range(n_ams)]
             self.processors.append(MISPProcessor(proc_id, oms, amss))
+
+        #: cache hierarchy; system backends declare the topology in
+        #: build_machine (default: one L2 shared per processor)
+        self.hierarchy = (hierarchy or shared_l2_per_processor)(
+            self.processors, params)
 
         self.kernel = Kernel(params, num_cpus=len(self.processors))
         #: per-processor queue of pending OMS work items:
@@ -215,39 +222,63 @@ class Machine:
                op: MachineOp) -> None:
         """Cost an op and schedule its completion."""
         params = self.params
+        stream.sequencer = seq  # bind for commit-time translation
         cost: int
         action: Optional[tuple] = None
         if isinstance(op, Compute):
             cost = op.cycles
         elif isinstance(op, AtomicOp):
             cost = op.cycles or params.atomic_op_cost
+            if op.vaddr is not None:   # a lock word in shared memory
+                cost, action = self._cost_access(seq, op.vaddr, True, cost)
         elif isinstance(op, Touch):
-            cost, action = self._cost_touch(seq, op, op.region.vpn(op.page_index))
+            cost, action = self._cost_access(
+                seq, op.region.vpn(op.page_index) * PAGE_SIZE, op.write,
+                op.cycles, span=PAGE_SIZE)
         elif isinstance(op, MemAccess):
-            cost, action = self._cost_touch(seq, op, vpn_of(op.vaddr))
+            cost, action = self._cost_access(seq, op.vaddr, op.write,
+                                             op.cycles)
         elif isinstance(op, SyscallOp):
             cost, action = 0, ("syscall", op)
         elif isinstance(op, SignalShred):
             cost, action = params.signal_cost, ("signal", op)
         else:
             raise SimulationError(f"unknown machine op {op!r}")
+        fetch = stream.fetch_addr(self.hierarchy)
+        if fetch is not None:
+            # instruction fetch goes through the same hierarchy (a
+            # fault retry refetches, like the re-executed instruction)
+            cost += self.hierarchy.access(seq.seq_id, fetch)
         seq.busy = True
         seq.busy_cycles += cost
         self.engine.schedule(cost, self._complete, seq, stream, op, action)
 
-    def _cost_touch(self, seq: Sequencer, op: MachineOp,
-                    vpn: int) -> tuple[int, Optional[tuple]]:
+    def _cost_access(self, seq: Sequencer, vaddr: int, write: bool,
+                     cycles: int, span: int = 1) -> tuple[int, Optional[tuple]]:
+        """Translate and charge one data access (TLB, caches, memory).
+
+        ``span`` is the bytes the op references from ``vaddr`` (a page
+        Touch streams the whole page; word accesses reference one
+        line).
+        """
         process = seq.process_ref
         if process is None:
             raise SimulationError(
                 f"sequencer {seq.seq_id} touched memory with no process")
-        if seq.tlb.lookup(vpn) is not None:
-            return op.cycles, None
-        pte = process.address_space.page_table.lookup(vpn)
-        if pte is not None:
+        vpn = vpn_of(vaddr)
+        cost = cycles
+        frame = seq.tlb.lookup(vpn)
+        if frame is None:
+            cost += self.params.page_walk_cost
+            pte = process.address_space.page_table.lookup(vpn)
+            if pte is None:
+                return cost, ("fault", vpn)
             seq.tlb.insert(vpn, pte.frame)
-            return op.cycles + self.params.page_walk_cost, None
-        return op.cycles + self.params.page_walk_cost, ("fault", vpn)
+            frame = pte.frame
+        paddr = frame * PAGE_SIZE + vaddr % PAGE_SIZE
+        cost += self.hierarchy.access_range(seq.seq_id, paddr, span,
+                                            write=write)
+        return cost, None
 
     def _complete(self, seq: Sequencer, stream: InstructionStream,
                   op: MachineOp, action: Optional[tuple]) -> None:

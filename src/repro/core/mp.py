@@ -14,13 +14,14 @@ machine is complete (``thread_create`` registered) at construction.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.core.machine import Machine
 from repro.core.notation import (
     FIGURE6_CONFIGS, FIGURE7_CONFIGS, FIGURE7_SEQUENCERS, config_name,
     ideal_config_for_load, parse_config, total_sequencers,
 )
+from repro.mem.hierarchy import HierarchyFactory
 from repro.params import DEFAULT_PARAMS, MachineParams
 
 __all__ = [
@@ -32,12 +33,21 @@ __all__ = [
 
 def build_machine(config: str | Sequence[int],
                   params: MachineParams = DEFAULT_PARAMS,
-                  record_fine_trace: bool = False) -> Machine:
-    """Build a machine from a name or an AMS-count tuple."""
+                  record_fine_trace: bool = False,
+                  hierarchy: Optional[HierarchyFactory] = None) -> Machine:
+    """Build a machine from a name or an AMS-count tuple.
+
+    ``hierarchy`` selects the cache topology (default: one L2 shared
+    per processor); all-plain-CPU partitions are routed through
+    :func:`~repro.smp.machine.build_smp_machine`, whose default is a
+    private L2 per core.
+    """
     counts = parse_config(config) if isinstance(config, str) else tuple(config)
     if counts and not any(counts):
         from repro.smp.machine import build_smp_machine
         return build_smp_machine(len(counts), params=params,
-                                 record_fine_trace=record_fine_trace)
+                                 record_fine_trace=record_fine_trace,
+                                 hierarchy=hierarchy)
     return Machine(counts, params=params,
-                   record_fine_trace=record_fine_trace)
+                   record_fine_trace=record_fine_trace,
+                   hierarchy=hierarchy)

@@ -120,11 +120,18 @@ class SyscallOp(MachineOp):
 class AtomicOp(MachineOp):
     """One atomic read-modify-write (lock-prefixed instruction).
 
-    Semantically a compute op; kept distinct so traces can attribute
-    synchronization traffic.
+    With a ``vaddr`` the RMW is a *write to shared memory*: it goes
+    through the sequencer's TLB and cache hierarchy and invalidates
+    other caches holding the line -- the lock ping-pong that makes a
+    contended work queue expensive across private caches (and cheap
+    behind a MISP processor's shared L2).  Without one it degrades to
+    a flat-cost compute op (hand-built machines without a staged
+    runtime).
     """
 
     cycles: int = 0  # 0 = use params.atomic_op_cost
+    #: virtual address of the lock word, if the caller has one
+    vaddr: Optional[int] = None
 
 
 @dataclass(frozen=True)

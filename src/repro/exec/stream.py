@@ -19,10 +19,14 @@ instruction" behaviour of Section 2.5.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Optional
+from typing import TYPE_CHECKING, Any, Iterator, Optional
 
 from repro.errors import SimulationError
 from repro.exec.ops import HaltOp, MachineOp, Op
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.sequencer import Sequencer
+    from repro.mem.hierarchy import MemoryHierarchy
 
 
 class InstructionStream:
@@ -33,6 +37,20 @@ class InstructionStream:
     #: set when the owning process exited with this shred still live;
     #: in-flight completions for a killed stream are dropped
     killed: bool = False
+    #: the sequencer currently fetching this stream (bound by the
+    #: machine at issue time; commit-phase translation goes through
+    #: its TLB)
+    sequencer: Optional["Sequencer"] = None
+
+    def fetch_addr(self, hierarchy: "MemoryHierarchy") -> Optional[int]:
+        """Synthetic physical address of the next instruction fetch.
+
+        ``None`` (the default) means fetch is not modelled separately:
+        direct-execution streams fold it into their op costs.  The
+        mini-ISA interpreter overrides this so fetches go through the
+        owning sequencer's cache hierarchy.
+        """
+        return None
 
     def next_op(self) -> Optional[MachineOp]:
         """Fetch the next operation, or ``None`` when the stream ends.

@@ -38,8 +38,8 @@ from repro.experiments.spec import (
     DEFAULT_CONFIGS, FIGURE7_SEQUENCERS, SYSTEMS, ExperimentSpec, RunSpec,
 )
 from repro.experiments.summary import (
-    EVENT_KEYS, ProxySummary, RunSummary, UtilizationSummary,
-    summarize_multiprog, summarize_run,
+    EVENT_KEYS, MemorySummary, ProxySummary, RunSummary,
+    UtilizationSummary, summarize_multiprog, summarize_run,
 )
 
 __all__ = [
@@ -47,6 +47,6 @@ __all__ = [
     "RunnerStats", "default_runner", "execute", "runner_from_env",
     "set_default_runner",
     "DEFAULT_CONFIGS", "FIGURE7_SEQUENCERS", "SYSTEMS", "ExperimentSpec",
-    "RunSpec", "EVENT_KEYS", "ProxySummary", "RunSummary",
+    "RunSpec", "EVENT_KEYS", "MemorySummary", "ProxySummary", "RunSummary",
     "UtilizationSummary", "summarize_multiprog", "summarize_run",
 ]

@@ -49,6 +49,45 @@ class ProxySummary:
 
 
 @dataclass(frozen=True)
+class MemorySummary:
+    """Per-level memory-hierarchy and TLB totals for one run.
+
+    Per level, ``hits + misses`` equals the accesses that reached the
+    level: every L1 miss becomes one L2 access, every L2 miss one
+    flat-memory access.
+    """
+
+    l1_hits: int = 0
+    l1_misses: int = 0
+    #: L1 lines purged by the invalidate-on-write coherence protocol
+    l1_invalidations: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    #: cross-L2 invalidations (needs more than one L2 domain: private
+    #: per-core L2s, or shared per-processor L2s on a multi-processor)
+    l2_invalidations: int = 0
+    #: accesses served by the flat memory level (== l2_misses)
+    mem_accesses: int = 0
+    tlb_hits: int = 0
+    tlb_misses: int = 0
+    tlb_flushes: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total hierarchy accesses (data + instruction fetch)."""
+        return self.l1_hits + self.l1_misses
+
+    @property
+    def l1_hit_rate(self) -> float:
+        return self.l1_hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def l2_hit_rate(self) -> float:
+        refs = self.l2_hits + self.l2_misses
+        return self.l2_hits / refs if refs else 0.0
+
+
+@dataclass(frozen=True)
 class UtilizationSummary:
     """Aggregate sequencer-utilization totals for one run."""
 
@@ -78,8 +117,13 @@ class RunSummary:
     background: int = 0
     #: Table-1 event counts, in the six-column layout
     events: dict[str, int] = field(default_factory=dict)
-    proxy: ProxySummary = ProxySummary()
-    utilization: UtilizationSummary = UtilizationSummary()
+    # per-instance defaults (a shared singleton default would alias
+    # every summary onto one object)
+    proxy: ProxySummary = field(default_factory=ProxySummary)
+    utilization: UtilizationSummary = field(
+        default_factory=UtilizationSummary)
+    #: cache-hierarchy and TLB totals
+    mem: MemorySummary = field(default_factory=MemorySummary)
     #: shreds still live at completion (0 = every shred joined)
     shreds_unjoined: int = 0
     #: legacy API calls the ShredLib shim translated (Table 2 runs)
@@ -111,12 +155,14 @@ class RunSummary:
         data = dict(data)
         data["proxy"] = ProxySummary(**data.get("proxy", {}))
         data["utilization"] = UtilizationSummary(**data.get("utilization", {}))
+        data["mem"] = MemorySummary(**data.get("mem", {}))
         data["events"] = {str(k): int(v)
                           for k, v in data.get("events", {}).items()}
         return cls(**data)
 
 
-def _machine_totals(machine) -> tuple[ProxySummary, UtilizationSummary]:
+def _machine_totals(
+        machine) -> tuple[ProxySummary, UtilizationSummary, MemorySummary]:
     ps = machine.proxy_stats
     proxy = ProxySummary(ps.requests, ps.page_faults, ps.syscalls,
                          ps.total_latency, ps.max_queue_depth)
@@ -131,13 +177,19 @@ def _machine_totals(machine) -> tuple[ProxySummary, UtilizationSummary]:
         num_oms=len(machine.oms_ids()),
         num_ams=len(machine.ams_ids()),
     )
-    return proxy, util
+    mem = MemorySummary(
+        **machine.hierarchy.counters(),
+        tlb_hits=sum(s.tlb.hits for s in machine.sequencers),
+        tlb_misses=sum(s.tlb.misses for s in machine.sequencers),
+        tlb_flushes=sum(s.tlb.flushes for s in machine.sequencers),
+    )
+    return proxy, util, mem
 
 
 def summarize_run(result: "RunResult",
                   spec: Optional["RunSpec"] = None) -> RunSummary:
     """Flatten a live :class:`RunResult` into a :class:`RunSummary`."""
-    proxy, util = _machine_totals(result.machine)
+    proxy, util, mem = _machine_totals(result.machine)
     shim = getattr(result.runtime, "legacy_shim", None)
     return RunSummary(
         # label with the spec's registry name (not the built spec's,
@@ -152,6 +204,7 @@ def summarize_run(result: "RunResult",
         events=result.serializing_events(),
         proxy=proxy,
         utilization=util,
+        mem=mem,
         shreds_unjoined=result.runtime.active,
         legacy_calls_translated=(shim.calls_translated if shim else 0),
         spec_hash=spec.spec_hash() if spec else "",
@@ -181,7 +234,7 @@ def summarize_multiprog(result: Union["MultiprogResult", "RunResult"],
         "ams_syscall": trace.total(EventKind.SYSCALL, ams_ids),
         "ams_pf": trace.total(EventKind.PAGE_FAULT, ams_ids),
     }
-    proxy, util = _machine_totals(machine)
+    proxy, util, mem = _machine_totals(machine)
     return RunSummary(
         workload=spec.workload if spec else getattr(result, "workload",
                                                     "RayTracer"),
@@ -193,5 +246,6 @@ def summarize_multiprog(result: Union["MultiprogResult", "RunResult"],
         events=events,
         proxy=proxy,
         utilization=util,
+        mem=mem,
         spec_hash=spec.spec_hash() if spec else "",
     )

@@ -22,7 +22,7 @@ handler runs as an asynchronous function call (sender SID in r6) and
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.errors import InvalidInstructionError, SimulationError
 from repro.exec.ops import (
@@ -31,7 +31,11 @@ from repro.exec.ops import (
 from repro.exec.stream import InstructionStream
 from repro.isa.instructions import NUM_REGS, SP, Instruction, Opcode
 from repro.kernel.process import Process
-from repro.params import MachineParams
+from repro.mem.pagetable import vpn_of
+from repro.params import PAGE_SIZE, MachineParams
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mem.hierarchy import MemoryHierarchy
 
 #: register that receives the sender SID in a yield handler
 YIELD_SID_REG = 6
@@ -61,6 +65,10 @@ class AsmStream(InstructionStream):
         self._halted = False
         self._pending: Optional[MachineOp] = None
         self._pending_instr: Optional[Instruction] = None
+        #: synthetic code-segment base, assigned by the hierarchy on
+        #: the first fetch (continuations over the same program image
+        #: share one segment)
+        self._code_base: Optional[int] = None
         # YIELD-CONDITIONAL state
         self._yield_handler: Optional[int] = None
         self._yield_pending: Optional[int] = None   # sender SID
@@ -91,6 +99,13 @@ class AsmStream(InstructionStream):
         self._pending = op
         self._pending_instr = instr
         return op
+
+    def fetch_addr(self, hierarchy: "MemoryHierarchy") -> Optional[int]:
+        """Fetch address of the issuing instruction (cache-modelled)."""
+        if self._code_base is None:
+            self._code_base = hierarchy.code_segment(id(self.program),
+                                                     len(self.program))
+        return self._code_base + 4 * self.pc
 
     def complete(self, value: Any = None) -> None:
         if self._pending is None:
@@ -225,16 +240,31 @@ class AsmStream(InstructionStream):
     # ------------------------------------------------------------------
     # Word access (only reached once the page is resident)
     # ------------------------------------------------------------------
-    def _read(self, vaddr: int) -> int:
+    def _translate(self, vaddr: int, action: str) -> int:
+        """Commit-phase translation through the owning sequencer's TLB.
+
+        The issue phase already counted the TLB lookup and charged the
+        cache hierarchy for this access, so the commit phase peeks
+        (no statistics) and falls back to the page table -- e.g. when
+        the shred team was frozen and thawed mid-access, which flushes
+        the TLB.
+        """
+        seq = self.sequencer
+        if seq is not None:
+            frame = seq.tlb.peek(vpn_of(vaddr))
+            if frame is not None:
+                return frame * PAGE_SIZE + vaddr % PAGE_SIZE
         paddr = self.process.address_space.translate(vaddr)
         if paddr is None:
             raise SimulationError(
-                f"{self.label}: commit-time read of non-resident {vaddr:#x}")
+                f"{self.label}: commit-time {action} of non-resident "
+                f"{vaddr:#x}")
+        return paddr
+
+    def _read(self, vaddr: int) -> int:
+        paddr = self._translate(vaddr, "read")
         return self.process.address_space.physical.read_word(paddr)
 
     def _write(self, vaddr: int, value: int) -> None:
-        paddr = self.process.address_space.translate(vaddr)
-        if paddr is None:
-            raise SimulationError(
-                f"{self.label}: commit-time write of non-resident {vaddr:#x}")
+        paddr = self._translate(vaddr, "write")
         self.process.address_space.physical.write_word(paddr, value)

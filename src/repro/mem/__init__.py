@@ -1,11 +1,18 @@
-"""Memory substrate: physical frames, page tables, TLBs, address spaces."""
+"""Memory substrate: physical frames, page tables, TLBs, address
+spaces, and the cache hierarchy."""
 
 from repro.mem.addrspace import AddressSpace, Region
+from repro.mem.hierarchy import (
+    Cache, HierarchyFactory, MemoryHierarchy, private_l2_per_sequencer,
+    shared_l2_global, shared_l2_per_processor,
+)
 from repro.mem.pagetable import PTE, PageTable, page_offset, vpn_of
 from repro.mem.physical import PhysicalMemory
 from repro.mem.tlb import TLB
 
 __all__ = [
     "AddressSpace", "Region", "PTE", "PageTable", "page_offset",
-    "vpn_of", "PhysicalMemory", "TLB",
+    "vpn_of", "PhysicalMemory", "TLB", "Cache", "HierarchyFactory",
+    "MemoryHierarchy", "private_l2_per_sequencer", "shared_l2_global",
+    "shared_l2_per_processor",
 ]

@@ -1,0 +1,320 @@
+"""The shared memory hierarchy: per-sequencer L1s, L2 domains, coherence.
+
+The paper's cost argument for MISP (Section 2.1) is that sequencers
+are cheap precisely because they *share* one processor's memory
+hierarchy, where SMP worker threads pay coherence traffic across
+private caches.  This module makes that difference measurable:
+
+* :class:`Cache` -- an LRU set-associative cache model (hit/miss/
+  invalidation/eviction counters, no data storage; the simulator's
+  word store stays in :class:`~repro.mem.physical.PhysicalMemory`);
+* :class:`MemoryHierarchy` -- the per-machine composition: one
+  private L1 per sequencer, L2 *domains* (each domain one L2 shared
+  by a set of sequencers), and a flat memory level behind them, with
+  a directory-based invalidate-on-write protocol between caches;
+* topology factories -- :func:`shared_l2_per_processor` (the MISP
+  shape: every sequencer of a processor behind one L2),
+  :func:`private_l2_per_sequencer` (the SMP shape: every core its own
+  L2), and :func:`shared_l2_global` (one L2 for the whole machine).
+
+System backends declare their topology in ``build_machine`` (see
+:mod:`repro.systems.backends`), so ``misp`` runs shreds behind one
+shared L2 while ``smp`` gives every core a private one -- under the
+same coherence protocol, which is what makes sharing-vs-coherence an
+observable difference between backends rather than an assumption.
+
+Addresses are *physical*: the machine translates through the touching
+sequencer's TLB first (``Machine._cost_access``) and then charges the
+hierarchy.  Instruction fetches use synthetic
+physical addresses above the frame store, handed out per program
+image by :meth:`MemoryHierarchy.code_segment`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.params import PAGE_SIZE, MachineParams
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.processor import MISPProcessor
+
+#: a topology factory: (processors, params) -> MemoryHierarchy
+HierarchyFactory = Callable[[Sequence["MISPProcessor"], MachineParams],
+                            "MemoryHierarchy"]
+
+
+class Cache:
+    """An LRU set-associative cache (tags only, no data).
+
+    Lines are identified by *line number* (``paddr // line_size``);
+    the hierarchy does the division once per access.  ``access`` does
+    not allocate -- the hierarchy installs lines explicitly with
+    ``fill`` so it can keep its coherence directory in sync.
+    """
+
+    __slots__ = ("name", "assoc", "num_sets", "_sets",
+                 "hits", "misses", "invalidations", "evictions")
+
+    def __init__(self, name: str, size_bytes: int, assoc: int,
+                 line_size: int) -> None:
+        if assoc <= 0:
+            raise ConfigurationError(f"{name}: associativity must be >= 1")
+        if line_size <= 0:
+            raise ConfigurationError(f"{name}: line size must be >= 1")
+        lines = max(assoc, size_bytes // line_size)
+        self.name = name
+        self.assoc = assoc
+        self.num_sets = max(1, lines // assoc)
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    @property
+    def capacity_lines(self) -> int:
+        return self.num_sets * self.assoc
+
+    def access(self, line: int) -> bool:
+        """Look a line up, updating LRU order; True on a hit."""
+        entries = self._sets[line % self.num_sets]
+        if line in entries:
+            entries.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, line: int) -> Optional[int]:
+        """Install a line, returning the evicted line number (if any)."""
+        entries = self._sets[line % self.num_sets]
+        if line in entries:
+            entries.move_to_end(line)
+            return None
+        evicted = None
+        if len(entries) >= self.assoc:
+            evicted, _ = entries.popitem(last=False)
+            self.evictions += 1
+        entries[line] = None
+        return evicted
+
+    def invalidate(self, line: int) -> bool:
+        """Drop a line (coherence); True if it was present."""
+        entries = self._sets[line % self.num_sets]
+        if line not in entries:
+            return False
+        del entries[line]
+        self.invalidations += 1
+        return True
+
+    def __contains__(self, line: int) -> bool:
+        return line in self._sets[line % self.num_sets]
+
+    def __len__(self) -> int:
+        return sum(len(entries) for entries in self._sets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Cache {self.name} {self.num_sets}x{self.assoc} "
+                f"h={self.hits} m={self.misses}>")
+
+
+class MemoryHierarchy:
+    """Per-machine cache composition with invalidate-on-write coherence.
+
+    Built from *domains*: ``add_domain(seq_ids)`` creates one L2 and a
+    private L1 for each sequencer in the domain.  An access walks
+    L1 -> domain L2 -> memory, charging
+    ``l1_hit_cost`` / ``l2_hit_cost`` / ``mem_cost`` cumulatively, and
+    a write invalidates every *other* cache holding the line (a
+    directory keeps writes O(sharers), not O(caches)).
+    """
+
+    def __init__(self, params: MachineParams) -> None:
+        self.params = params
+        self.line_size = params.cache_line_size
+        self._l1s: dict[int, Cache] = {}
+        self._l2_of: dict[int, Cache] = {}
+        self.l2s: list[Cache] = []
+        #: coherence directory: line -> caches currently holding it
+        #: (an insertion-ordered dict-as-set, for determinism)
+        self._sharers: dict[int, dict[Cache, None]] = {}
+        #: accesses that went all the way to the flat memory level
+        self.mem_accesses = 0
+        # synthetic code-segment allocator (instruction fetch): bases
+        # start above the physical frame store so code never aliases
+        # data frames
+        self._code_bases: dict[int, int] = {}
+        self._next_code_addr = params.physical_frames * PAGE_SIZE
+
+    # ------------------------------------------------------------------
+    # Topology construction
+    # ------------------------------------------------------------------
+    def add_domain(self, seq_ids: Iterable[int]) -> Cache:
+        """Create one L2 shared by ``seq_ids`` (plus their private L1s)."""
+        params = self.params
+        l2 = Cache(f"L2#{len(self.l2s)}", params.l2_size, params.l2_assoc,
+                   self.line_size)
+        self.l2s.append(l2)
+        for seq_id in seq_ids:
+            if seq_id in self._l1s:
+                raise ConfigurationError(
+                    f"sequencer {seq_id} already attached to a hierarchy "
+                    "domain")
+            self._l1s[seq_id] = Cache(f"L1#{seq_id}", params.l1_size,
+                                      params.l1_assoc, self.line_size)
+            self._l2_of[seq_id] = l2
+        return l2
+
+    def l1(self, seq_id: int) -> Cache:
+        try:
+            return self._l1s[seq_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"sequencer {seq_id} is attached to no hierarchy "
+                "domain") from None
+
+    def l2(self, seq_id: int) -> Cache:
+        return self._l2_of[seq_id]
+
+    # ------------------------------------------------------------------
+    # The access path
+    # ------------------------------------------------------------------
+    def access(self, seq_id: int, paddr: int, write: bool = False) -> int:
+        """One memory access by ``seq_id``; returns the cycles to charge."""
+        line = paddr // self.line_size
+        params = self.params
+        l1 = self._l1s.get(seq_id)
+        if l1 is None:
+            raise ConfigurationError(
+                f"sequencer {seq_id} is attached to no hierarchy domain")
+        l2 = self._l2_of[seq_id]
+        cycles = params.l1_hit_cost
+        if not l1.access(line):
+            cycles += params.l2_hit_cost
+            if not l2.access(line):
+                cycles += params.mem_cost
+                self.mem_accesses += 1
+                self._install(l2, line)
+            self._install(l1, line)
+        if write:
+            self._invalidate_sharers(line, l1, l2)
+        return cycles
+
+    def access_range(self, seq_id: int, paddr: int, num_bytes: int,
+                     write: bool = False) -> int:
+        """Stream ``num_bytes`` from ``paddr`` line by line.
+
+        This is what a page :class:`~repro.exec.ops.Touch` charges:
+        the loop body referencing every line of the page, so cache
+        capacity, reuse, and the miss penalty all scale with the data
+        actually moved rather than with page count.
+        """
+        cycles = 0
+        addr = paddr
+        end = paddr + max(1, num_bytes)
+        while addr < end:
+            cycles += self.access(seq_id, addr, write)
+            addr += self.line_size
+        return cycles
+
+    def _install(self, cache: Cache, line: int) -> None:
+        evicted = cache.fill(line)
+        if evicted is not None:
+            holders = self._sharers.get(evicted)
+            if holders is not None:
+                holders.pop(cache, None)
+                if not holders:
+                    del self._sharers[evicted]
+        self._sharers.setdefault(line, {})[cache] = None
+
+    def _invalidate_sharers(self, line: int, l1: Cache, l2: Cache) -> None:
+        """Invalidate-on-write: purge the line from every other cache."""
+        holders = self._sharers.get(line)
+        if holders is None:
+            return
+        for cache in [c for c in holders if c is not l1 and c is not l2]:
+            cache.invalidate(line)
+            del holders[cache]
+
+    # ------------------------------------------------------------------
+    # Instruction fetch (synthetic code segments)
+    # ------------------------------------------------------------------
+    def code_segment(self, key: int, num_words: int) -> int:
+        """Base physical address for a program image, stable per key."""
+        base = self._code_bases.get(key)
+        if base is None:
+            base = self._next_code_addr
+            self._code_bases[key] = base
+            size = max(1, num_words) * 4
+            pages = -(-size // PAGE_SIZE)  # ceil
+            self._next_code_addr += pages * PAGE_SIZE
+        return base
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def counters(self) -> dict[str, int]:
+        """Aggregate per-level totals (the RunSummary view)."""
+        l1s = self._l1s.values()
+        return {
+            "l1_hits": sum(c.hits for c in l1s),
+            "l1_misses": sum(c.misses for c in l1s),
+            "l1_invalidations": sum(c.invalidations for c in l1s),
+            "l2_hits": sum(c.hits for c in self.l2s),
+            "l2_misses": sum(c.misses for c in self.l2s),
+            "l2_invalidations": sum(c.invalidations for c in self.l2s),
+            "mem_accesses": self.mem_accesses,
+        }
+
+    def describe(self) -> str:
+        """Topology string, e.g. ``"L1x8 / L2x1 (8 shared)"``."""
+        sharing = {}
+        for l2 in self.l2s:
+            n = sum(1 for c in self._l2_of.values() if c is l2)
+            sharing[n] = sharing.get(n, 0) + 1
+        shape = "+".join(f"{count}x{n}-way" if n > 1 else f"{count}private"
+                         for n, count in sorted(sharing.items()))
+        return f"L1x{len(self._l1s)} / L2x{len(self.l2s)} ({shape})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<MemoryHierarchy {self.describe()}>"
+
+
+# ----------------------------------------------------------------------
+# Topology factories (what system backends declare in build_machine)
+# ----------------------------------------------------------------------
+def shared_l2_per_processor(processors: Sequence["MISPProcessor"],
+                            params: MachineParams) -> MemoryHierarchy:
+    """The MISP shape: all sequencers of a processor share one L2.
+
+    A plain CPU (zero AMSs) degenerates to a private L2, so this is
+    also coherent-by-construction for mixed ``1x4+4`` partitions.
+    """
+    hierarchy = MemoryHierarchy(params)
+    for proc in processors:
+        hierarchy.add_domain(s.seq_id for s in proc.sequencers())
+    return hierarchy
+
+
+def private_l2_per_sequencer(processors: Sequence["MISPProcessor"],
+                             params: MachineParams) -> MemoryHierarchy:
+    """The SMP shape: every sequencer its own L2 (coherence pays for
+    sharing instead)."""
+    hierarchy = MemoryHierarchy(params)
+    for proc in processors:
+        for seq in proc.sequencers():
+            hierarchy.add_domain([seq.seq_id])
+    return hierarchy
+
+
+def shared_l2_global(processors: Sequence["MISPProcessor"],
+                     params: MachineParams) -> MemoryHierarchy:
+    """One machine-wide L2 behind every sequencer (an idealized what-if)."""
+    hierarchy = MemoryHierarchy(params)
+    hierarchy.add_domain(s.seq_id for p in processors
+                         for s in p.sequencers())
+    return hierarchy

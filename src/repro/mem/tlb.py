@@ -36,6 +36,14 @@ class TLB:
         self.hits += 1
         return frame
 
+    def peek(self, vpn: int) -> Optional[int]:
+        """Translation without LRU or statistics side effects.
+
+        Used by the commit phase of a two-phase access (issue already
+        counted the lookup); architecturally it is the same reference.
+        """
+        return self._map.get(vpn)
+
     def insert(self, vpn: int, frame: int) -> None:
         """Install a translation, evicting the LRU entry when full."""
         if vpn in self._map:

@@ -100,6 +100,29 @@ class MachineParams:
     page_walk_cost: int = 60
 
     # ------------------------------------------------------------------
+    # Memory hierarchy (repro.mem.hierarchy)
+    # ------------------------------------------------------------------
+    #: Per-sequencer L1 cache size in bytes.
+    l1_size: int = 32 * 1024
+    #: L1 associativity (ways).
+    l1_assoc: int = 4
+    #: L2 cache size in bytes (one L2 per topology domain: shared by a
+    #: MISP processor's sequencers, private per SMP core).
+    l2_size: int = 512 * 1024
+    #: L2 associativity (ways).
+    l2_assoc: int = 8
+    #: Cache line size in bytes (all levels).
+    cache_line_size: int = 64
+    #: Cycles for an access that hits in the L1 (charged on every
+    #: hierarchy access as the pipeline's load-to-use latency).
+    l1_hit_cost: int = 1
+    #: Additional cycles when the access misses L1 and hits the L2.
+    l2_hit_cost: int = 8
+    #: Additional cycles when the access misses both caches and goes
+    #: to the flat memory level (the figure_mem sweep axis).
+    mem_cost: int = 60
+
+    # ------------------------------------------------------------------
     # User-level runtime micro-costs (ShredLib)
     # ------------------------------------------------------------------
     #: Cycles for one atomic read-modify-write (lock cmpxchg).
@@ -128,6 +151,9 @@ class MachineParams:
             raise ValueError("timer_quantum must be positive")
         if self.physical_frames == 0:
             raise ValueError("physical_frames must be positive")
+        for field_name in ("l1_assoc", "l2_assoc", "cache_line_size"):
+            if getattr(self, field_name) == 0:
+                raise ValueError(f"{field_name} must be positive")
 
     def with_changes(self, **changes: int) -> "MachineParams":
         """Return a copy with the given fields replaced."""

@@ -43,7 +43,7 @@ class ShredAPI:
         The Shred_create of Figure 3: push a continuation onto the
         mutex-protected work queue.
         """
-        yield AtomicOp()
+        yield AtomicOp(vaddr=self.rt.lock_vaddr)
         yield Compute(self.rt.params.queue_op_cost)
         shred = self.rt.new_shred(body, name)
         self.rt.push(shred)
@@ -56,7 +56,7 @@ class ShredAPI:
         ``fn(shred, *args)`` must return a generator.  Use this when
         the body needs identity-dependent services such as TLS.
         """
-        yield AtomicOp()
+        yield AtomicOp(vaddr=self.rt.lock_vaddr)
         yield Compute(self.rt.params.queue_op_cost)
         shred = self.rt.new_shred(None, name)
         shred.gen = fn(shred, *args)
@@ -65,7 +65,7 @@ class ShredAPI:
 
     def join(self, shred: Shred) -> Iterator[Op]:
         """Park until ``shred`` finishes; returns its result."""
-        yield AtomicOp()
+        yield AtomicOp(vaddr=self.rt.lock_vaddr)
         if not shred.done:
             # the done check and the Block share one atomic segment,
             # so a finish racing with this join cannot be missed

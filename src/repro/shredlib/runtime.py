@@ -58,10 +58,48 @@ class ShredRuntime:
         self.log = ShredLog()
         self.main_shred: Optional[Shred] = None
         self._next_id = 0
+        # -- shared-memory placement (set by attach_shared) ----------------
+        #: base vaddr of the runtime's shared page(s); None means the
+        #: runtime is not placed (hand-built machines) and lock ops
+        #: degrade to flat-cost atomics
+        self.shared_vaddr: Optional[int] = None
+        self._shared_lines = 0
+        self._next_line = 0
         # -- counters ------------------------------------------------------
         self.created = 0
         self.finished = 0
         self.active = 0
+
+    # ------------------------------------------------------------------
+    # Shared-memory placement
+    # ------------------------------------------------------------------
+    def attach_shared(self, base_vaddr: int, num_bytes: int) -> None:
+        """Place the runtime's shared state at ``base_vaddr``.
+
+        Line 0 holds the work-queue lock; :meth:`sync_line` hands the
+        remaining cache lines to sync objects, so their atomic RMWs
+        are real writes through the cache hierarchy (lock ping-pong is
+        then cheap behind a shared L2 and expensive across private
+        ones).  Wrap-around beyond the reserved bytes models false
+        sharing rather than failing.
+        """
+        self.shared_vaddr = base_vaddr
+        line = self.params.cache_line_size
+        self._shared_lines = max(2, num_bytes // line)
+        self._next_line = 1
+
+    @property
+    def lock_vaddr(self) -> Optional[int]:
+        """Address of the work-queue lock word (None if unplaced)."""
+        return self.shared_vaddr
+
+    def sync_line(self) -> Optional[int]:
+        """Allocate a cache line for one sync object (None if unplaced)."""
+        if self.shared_vaddr is None:
+            return None
+        line = 1 + (self._next_line - 1) % (self._shared_lines - 1)
+        self._next_line += 1
+        return self.shared_vaddr + line * self.params.cache_line_size
 
     # ------------------------------------------------------------------
     # Shred lifecycle

@@ -35,7 +35,7 @@ def gang_scheduler(rt: ShredRuntime, worker_id: int) -> Iterator[Op]:
     """
     params = rt.params
     while True:
-        yield AtomicOp()                       # lock the work queue
+        yield AtomicOp(vaddr=rt.lock_vaddr)    # lock the work queue
         shred = rt.pop(worker_id)
         if shred is None:
             if rt.all_work_done:
@@ -59,7 +59,7 @@ def drain_once(rt: ShredRuntime, worker_id: int) -> Iterator[Op]:
     """
     params = rt.params
     while True:
-        yield AtomicOp()
+        yield AtomicOp(vaddr=rt.lock_vaddr)
         shred = rt.pop(worker_id)
         if shred is None:
             return

@@ -36,22 +36,23 @@ class ShredMutex:
     def __init__(self, rt: ShredRuntime, name: str = "mutex") -> None:
         self._rt = rt
         self.name = name
+        self._vaddr = rt.sync_line()
         self._locked = False
         self._waiters: list[Shred] = []
         self.acquisitions = 0
         self.contended_acquisitions = 0
 
     def acquire(self) -> Iterator[Op]:
-        yield AtomicOp()
+        yield AtomicOp(vaddr=self._vaddr)
         while self._locked:
             self.contended_acquisitions += 1
             yield Block(self._waiters, reason=self.name)
-            yield AtomicOp()  # retry the RMW after wakeup
+            yield AtomicOp(vaddr=self._vaddr)  # retry the RMW after wakeup
         self._locked = True
         self.acquisitions += 1
 
     def release(self) -> Iterator[Op]:
-        yield AtomicOp()
+        yield AtomicOp(vaddr=self._vaddr)
         if not self._locked:
             raise ShredLibError(f"release of unlocked mutex '{self.name}'")
         self._locked = False
@@ -77,7 +78,7 @@ class CriticalSection:
 
     def enter(self) -> Iterator[Op]:
         for _ in range(self.spin_count):
-            yield AtomicOp()
+            yield AtomicOp(vaddr=self._mutex._vaddr)
             if not self._mutex._locked:
                 self._mutex._locked = True
                 self._mutex.acquisitions += 1
@@ -100,6 +101,7 @@ class ShredCondVar:
     def __init__(self, rt: ShredRuntime, name: str = "cond") -> None:
         self._rt = rt
         self.name = name
+        self._vaddr = rt.sync_line()
         self._waiters: list[Shred] = []
         self._generation = 0
 
@@ -115,13 +117,13 @@ class ShredCondVar:
         yield from mutex.acquire()
 
     def notify_one(self) -> Iterator[Op]:
-        yield AtomicOp()
+        yield AtomicOp(vaddr=self._vaddr)
         self._generation += 1
         if self._waiters:
             self._rt.make_ready(self._waiters.pop(0))
 
     def notify_all(self) -> Iterator[Op]:
-        yield AtomicOp()
+        yield AtomicOp(vaddr=self._vaddr)
         self._generation += 1
         waiters, self._waiters = self._waiters, []
         for shred in waiters:
@@ -137,22 +139,23 @@ class ShredSemaphore:
             raise ShredLibError("semaphore count must be non-negative")
         self._rt = rt
         self.name = name
+        self._vaddr = rt.sync_line()
         self._count = initial
         self._waiters: list[Shred] = []
 
     def wait(self) -> Iterator[Op]:
         """P: decrement, parking while the count is zero."""
-        yield AtomicOp()
+        yield AtomicOp(vaddr=self._vaddr)
         while self._count == 0:
             yield Block(self._waiters, reason=self.name)
-            yield AtomicOp()
+            yield AtomicOp(vaddr=self._vaddr)
         self._count -= 1
 
     def post(self, n: int = 1) -> Iterator[Op]:
         """V: increment and wake up to ``n`` waiters."""
         if n <= 0:
             raise ShredLibError("post count must be positive")
-        yield AtomicOp()
+        yield AtomicOp(vaddr=self._vaddr)
         self._count += n
         for _ in range(min(n, len(self._waiters))):
             self._rt.make_ready(self._waiters.pop(0))
@@ -169,19 +172,20 @@ class ShredEventObject:
                  name: str = "event") -> None:
         self._rt = rt
         self.name = name
+        self._vaddr = rt.sync_line()
         self.manual_reset = manual_reset
         self._signaled = False
         self._waiters: list[Shred] = []
 
     def wait(self) -> Iterator[Op]:
-        yield AtomicOp()
+        yield AtomicOp(vaddr=self._vaddr)
         if not self._signaled:
             yield Block(self._waiters, reason=self.name)
         elif not self.manual_reset:
             self._signaled = False
 
     def set(self) -> Iterator[Op]:
-        yield AtomicOp()
+        yield AtomicOp(vaddr=self._vaddr)
         if self.manual_reset:
             self._signaled = True
             waiters, self._waiters = self._waiters, []
@@ -194,7 +198,7 @@ class ShredEventObject:
                 self._signaled = True
 
     def reset(self) -> Iterator[Op]:
-        yield AtomicOp()
+        yield AtomicOp(vaddr=self._vaddr)
         self._signaled = False
 
     @property
@@ -211,6 +215,7 @@ class ShredBarrier:
             raise ShredLibError("barrier needs at least one party")
         self._rt = rt
         self.name = name
+        self._vaddr = rt.sync_line()
         self.parties = parties
         self._arrived = 0
         self._waiters: list[Shred] = []
@@ -223,7 +228,7 @@ class ShredBarrier:
         cycle -- the "serial shred", mirroring pthread_barrier's
         PTHREAD_BARRIER_SERIAL_THREAD.
         """
-        yield AtomicOp()
+        yield AtomicOp(vaddr=self._vaddr)
         self._arrived += 1
         if self._arrived == self.parties:
             self._arrived = 0
@@ -242,6 +247,7 @@ class ShredRWLock:
     def __init__(self, rt: ShredRuntime, name: str = "rwlock") -> None:
         self._rt = rt
         self.name = name
+        self._vaddr = rt.sync_line()
         self._readers = 0
         self._writer = False
         self._waiting_writers = 0
@@ -249,14 +255,14 @@ class ShredRWLock:
         self._write_waiters: list[Shred] = []
 
     def acquire_read(self) -> Iterator[Op]:
-        yield AtomicOp()
+        yield AtomicOp(vaddr=self._vaddr)
         while self._writer or self._waiting_writers:
             yield Block(self._read_waiters, reason=f"{self.name}.r")
-            yield AtomicOp()
+            yield AtomicOp(vaddr=self._vaddr)
         self._readers += 1
 
     def release_read(self) -> Iterator[Op]:
-        yield AtomicOp()
+        yield AtomicOp(vaddr=self._vaddr)
         if self._readers <= 0:
             raise ShredLibError(f"rwlock '{self.name}': read release underflow")
         self._readers -= 1
@@ -264,16 +270,16 @@ class ShredRWLock:
             self._rt.make_ready(self._write_waiters.pop(0))
 
     def acquire_write(self) -> Iterator[Op]:
-        yield AtomicOp()
+        yield AtomicOp(vaddr=self._vaddr)
         while self._writer or self._readers:
             self._waiting_writers += 1
             yield Block(self._write_waiters, reason=f"{self.name}.w")
             self._waiting_writers -= 1
-            yield AtomicOp()
+            yield AtomicOp(vaddr=self._vaddr)
         self._writer = True
 
     def release_write(self) -> Iterator[Op]:
-        yield AtomicOp()
+        yield AtomicOp(vaddr=self._vaddr)
         if not self._writer:
             raise ShredLibError(f"rwlock '{self.name}': write release underflow")
         self._writer = False

@@ -100,12 +100,29 @@ class Engine:
 
     @staticmethod
     def cancel(event: Event) -> None:
-        """Cancel a pending event (no-op if it already ran)."""
+        """Cancel a pending event (no-op if it already ran).
+
+        Cancellation is lazy, but when cancelled events outnumber live
+        ones the heap is compacted so a cancel-heavy workload cannot
+        keep dead events resident (amortized O(1): a rebuild resets
+        the count, so the next rebuild needs as many fresh cancels as
+        there are live events).
+        """
         if event.cancelled or event.finished:
             return
         event.cancelled = True
-        if event.engine is not None:
-            event.engine._cancelled_queued += 1
+        engine = event.engine
+        if engine is not None:
+            engine._cancelled_queued += 1
+            if engine._cancelled_queued * 2 > len(engine._heap):
+                engine._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled events (order preserved
+        by the (time, seqno) ordering invariant)."""
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_queued = 0
 
     # ------------------------------------------------------------------
     # Main loop

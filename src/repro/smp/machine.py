@@ -16,9 +16,12 @@ patch it in afterwards).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.machine import Machine
 from repro.errors import ConfigurationError
 from repro.kernel.syscalls import SyscallSpec
+from repro.mem.hierarchy import HierarchyFactory, private_l2_per_sequencer
 from repro.params import DEFAULT_PARAMS, MachineParams
 
 
@@ -33,8 +36,15 @@ def ensure_thread_create(machine: Machine) -> Machine:
 
 def build_smp_machine(num_cpus: int,
                       params: MachineParams = DEFAULT_PARAMS,
-                      record_fine_trace: bool = False) -> Machine:
-    """Build an SMP machine with ``num_cpus`` OS-visible cores."""
+                      record_fine_trace: bool = False,
+                      hierarchy: Optional[HierarchyFactory] = None) -> Machine:
+    """Build an SMP machine with ``num_cpus`` OS-visible cores.
+
+    SMP cores get *private* L2s by default -- cross-core sharing pays
+    coherence invalidations instead, the cost the paper's shreds avoid
+    by sharing one processor's hierarchy.
+    """
     return ensure_thread_create(
         Machine([0] * num_cpus, params=params,
-                record_fine_trace=record_fine_trace))
+                record_fine_trace=record_fine_trace,
+                hierarchy=hierarchy or private_l2_per_sequencer))

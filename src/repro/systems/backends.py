@@ -21,6 +21,9 @@ from repro.core.notation import (
     total_sequencers,
 )
 from repro.errors import ConfigurationError, SimulationError
+from repro.mem.hierarchy import (
+    private_l2_per_sequencer, shared_l2_per_processor,
+)
 from repro.smp.machine import build_smp_machine
 from repro.systems.base import StagedRun, SystemBackend, register_system
 from repro.workloads.multiprog import (
@@ -60,7 +63,9 @@ class MispBackend(SystemBackend):
 
     def build_machine(self, config: str,
                       params: "MachineParams") -> "Machine":
-        return build_machine(parse_config(config), params=params)
+        # MISP topology: the shred team shares the processor's L2
+        return build_machine(parse_config(config), params=params,
+                             hierarchy=shared_l2_per_processor)
 
     def stage(self, machine: "Machine", workload: "WorkloadSpec", *,
               config: str, policy: "QueuePolicy",
@@ -96,7 +101,9 @@ class SmpBackend(SystemBackend):
 
     def build_machine(self, config: str,
                       params: "MachineParams") -> "Machine":
-        return build_smp_machine(len(parse_config(config)), params=params)
+        # SMP topology: private L2 per core, coherence between them
+        return build_smp_machine(len(parse_config(config)), params=params,
+                                 hierarchy=private_l2_per_sequencer)
 
     def stage(self, machine: "Machine", workload: "WorkloadSpec", *,
               config: str, policy: "QueuePolicy",
@@ -158,7 +165,10 @@ class HybridBackend(SystemBackend):
 
     def build_machine(self, config: str,
                       params: "MachineParams") -> "Machine":
-        return build_machine(parse_config(config), params=params)
+        # each MISP group shares its processor's L2; plain CPUs in the
+        # partition degenerate to private L2s
+        return build_machine(parse_config(config), params=params,
+                             hierarchy=shared_l2_per_processor)
 
     def stage(self, machine: "Machine", workload: "WorkloadSpec", *,
               config: str, policy: "QueuePolicy",
@@ -220,8 +230,10 @@ class MultiprogBackend(SystemBackend):
     def build_machine(self, config: str,
                       params: "MachineParams") -> "Machine":
         if config == "smp":
-            return build_smp_machine(FIGURE7_SEQUENCERS, params=params)
-        return build_machine(parse_config(config), params=params)
+            return build_smp_machine(FIGURE7_SEQUENCERS, params=params,
+                                     hierarchy=private_l2_per_sequencer)
+        return build_machine(parse_config(config), params=params,
+                             hierarchy=shared_l2_per_processor)
 
     def stage(self, machine: "Machine", workload: "WorkloadSpec", *,
               config: str, policy: "QueuePolicy",

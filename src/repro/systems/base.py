@@ -96,7 +96,15 @@ class SystemBackend:
 
     def build_machine(self, config: str,
                       params: "MachineParams") -> "Machine":
-        """Build the simulated machine for a canonical ``config``."""
+        """Build the simulated machine for a canonical ``config``.
+
+        This is also where a backend declares its memory-hierarchy
+        topology: pass a :data:`repro.mem.hierarchy.HierarchyFactory`
+        (e.g. ``shared_l2_per_processor`` for MISP shapes,
+        ``private_l2_per_sequencer`` for SMP shapes) to the machine
+        factory, so sharing-vs-coherence differences between systems
+        are built in rather than assumed.
+        """
         raise NotImplementedError
 
     def stage(self, machine: "Machine", workload: "WorkloadSpec", *,

@@ -88,6 +88,13 @@ def _setup(machine: Machine, workload: WorkloadSpec,
     ctx = ExecContext(process, params, seed=_workload_seed(workload))
     ctx.machine = machine
     rt = ShredRuntime(params, name=workload.name)
+    # place the runtime's shared state (work-queue lock + sync-object
+    # lines) in the application's address space; the loader maps it
+    # up front, so runtime lock traffic hits the cache hierarchy
+    # without compulsory-fault noise
+    shared = process.address_space.reserve("shredlib", 1)
+    process.address_space.handle_fault(shared.start_vpn)
+    rt.attach_shared(shared.base_vaddr, shared.size_bytes)
     api = ShredAPI(rt, ctx)
     return process, rt, api
 

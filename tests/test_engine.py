@@ -175,3 +175,39 @@ def test_cancel_within_callback_keeps_count_consistent():
     assert engine.pending() == 2
     engine.run()
     assert hits == [] and engine.pending() == 0
+
+
+def test_compaction_shrinks_heap_and_preserves_order():
+    engine = Engine()
+    hits = []
+    events = [engine.schedule(10 * (i + 1), hits.append, i)
+              for i in range(100)]
+    # cancel just over half (every even event plus one more)
+    for event in events[0:100:2]:
+        Engine.cancel(event)
+    assert len(engine._heap) == 100       # lazy: still resident
+    Engine.cancel(events[1])              # 51 cancelled > 100/2: compact
+    assert len(engine._heap) == 49
+    assert engine._cancelled_queued == 0
+    assert engine.pending() == 49
+    engine.run()
+    assert hits == list(range(3, 100, 2))  # odd ids except 1, in order
+
+
+def test_compaction_amortized_not_triggered_below_half():
+    engine = Engine()
+    events = [engine.schedule(i + 1, lambda: None) for i in range(10)]
+    for event in events[:5]:
+        Engine.cancel(event)              # exactly half: no compaction
+    assert len(engine._heap) == 10 and engine._cancelled_queued == 5
+    Engine.cancel(events[5])              # over half: compacted
+    assert len(engine._heap) == 4 and engine._cancelled_queued == 0
+
+
+def test_cancel_after_compaction_of_drained_heap():
+    engine = Engine()
+    only = engine.schedule(5, lambda: None)
+    Engine.cancel(only)                   # 1 cancelled > 1/2: compacts
+    assert len(engine._heap) == 0 and engine.pending() == 0
+    engine.run()
+    assert engine.now == 0

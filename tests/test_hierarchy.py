@@ -1,0 +1,276 @@
+"""Tests for the memory hierarchy: the Cache/MemoryHierarchy models,
+coherence between topologies, machine integration (TLB + caches on
+the access and fetch paths), and the RunSummary plumbing."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.summary import (
+    MemorySummary, ProxySummary, RunSummary, UtilizationSummary,
+    summarize_run,
+)
+from repro.mem.hierarchy import (
+    Cache, MemoryHierarchy, private_l2_per_sequencer, shared_l2_global,
+    shared_l2_per_processor,
+)
+from repro.params import DEFAULT_PARAMS, PAGE_SIZE
+from repro.systems import Session
+
+LINE = DEFAULT_PARAMS.cache_line_size
+
+
+def make_hierarchy(domains, **param_changes):
+    params = DEFAULT_PARAMS.with_changes(**param_changes)
+    h = MemoryHierarchy(params)
+    for seq_ids in domains:
+        h.add_domain(seq_ids)
+    return h
+
+
+# ----------------------------------------------------------------------
+# Cache model
+# ----------------------------------------------------------------------
+class TestCache:
+    def test_hit_after_fill(self):
+        cache = Cache("c", 1024, 2, 64)
+        assert not cache.access(5)
+        cache.fill(5)
+        assert cache.access(5)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction_within_set(self):
+        cache = Cache("c", 2 * 64, 2, 64)   # one set, two ways
+        assert cache.num_sets == 1
+        cache.fill(1)
+        cache.fill(2)
+        cache.access(1)                      # 1 is now MRU
+        evicted = cache.fill(3)
+        assert evicted == 2                  # LRU way went
+        assert 1 in cache and 3 in cache and 2 not in cache
+
+    def test_invalidate_counts_only_present_lines(self):
+        cache = Cache("c", 1024, 2, 64)
+        cache.fill(9)
+        assert cache.invalidate(9) and not cache.invalidate(9)
+        assert cache.invalidations == 1
+
+    def test_degenerate_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Cache("c", 1024, 0, 64)
+
+
+# ----------------------------------------------------------------------
+# Hierarchy levels and coherence
+# ----------------------------------------------------------------------
+class TestHierarchy:
+    def test_levels_charge_cumulatively(self):
+        h = make_hierarchy([[0]])
+        p = h.params
+        cold = h.access(0, 0)
+        warm = h.access(0, 0)
+        assert cold == p.l1_hit_cost + p.l2_hit_cost + p.mem_cost
+        assert warm == p.l1_hit_cost
+        # evict from L1 only -> next access is an L2 hit
+        l1 = h.l1(0)
+        l1.invalidate(0)
+        assert h.access(0, 0) == p.l1_hit_cost + p.l2_hit_cost
+
+    def test_duplicate_sequencer_rejected(self):
+        h = make_hierarchy([[0, 1]])
+        with pytest.raises(ConfigurationError):
+            h.add_domain([1])
+
+    def test_unattached_sequencer_rejected(self):
+        h = make_hierarchy([[0]])
+        with pytest.raises(ConfigurationError):
+            h.access(7, 0)
+
+    def test_write_invalidates_other_l1s_shared_l2(self):
+        h = make_hierarchy([[0, 1]])
+        h.access(0, 0, write=True)
+        h.access(1, 0, write=True)            # ping-pong
+        assert h.l1(0).invalidations == 1
+        assert h.l1(1).invalidations == 0
+        # the line moved: seq 0 re-reads through the shared L2
+        before = h.l2(0).hits
+        h.access(0, 0)
+        assert h.l2(0).hits == before + 1
+        assert h.counters()["l2_invalidations"] == 0   # one L2: no peers
+
+    def test_write_invalidates_private_l2s(self):
+        h = make_hierarchy([[0], [1]])
+        h.access(0, 0, write=True)
+        h.access(1, 0, write=True)
+        counters = h.counters()
+        assert counters["l1_invalidations"] == 1
+        assert counters["l2_invalidations"] == 1
+        # with private L2s the ping-pong goes all the way to memory
+        assert h.access(0, 0) == (h.params.l1_hit_cost
+                                  + h.params.l2_hit_cost
+                                  + h.params.mem_cost)
+
+    def test_reads_share_without_invalidation(self):
+        h = make_hierarchy([[0, 1, 2]])
+        for seq in (0, 1, 2):
+            h.access(seq, 0)
+        assert h.counters()["l1_invalidations"] == 0
+        assert all(0 in h.l1(seq) for seq in (0, 1, 2))
+
+    def test_access_range_streams_lines(self):
+        h = make_hierarchy([[0]])
+        h.access_range(0, 0, PAGE_SIZE)
+        expected = PAGE_SIZE // LINE
+        assert h.l1(0).misses == expected
+        assert h.mem_accesses == expected
+
+    def test_code_segments_stable_and_disjoint(self):
+        h = make_hierarchy([[0]])
+        a = h.code_segment(key=1, num_words=10)
+        b = h.code_segment(key=2, num_words=10)
+        assert a == h.code_segment(key=1, num_words=10)
+        assert a != b
+        # above physical memory: code never aliases data frames
+        assert a >= h.params.physical_frames * PAGE_SIZE
+
+    def test_topology_factory_shapes(self):
+        from repro.core.mp import build_machine
+        misp = build_machine([3], hierarchy=shared_l2_per_processor)
+        smp = build_machine([0, 0, 0, 0],
+                            hierarchy=private_l2_per_sequencer)
+        one = build_machine([3, 0], hierarchy=shared_l2_global)
+        assert len(misp.hierarchy.l2s) == 1
+        assert len(smp.hierarchy.l2s) == 4
+        assert len(one.hierarchy.l2s) == 1
+
+
+# ----------------------------------------------------------------------
+# Property: per-level hits + misses == accesses that reached the level
+# ----------------------------------------------------------------------
+def test_level_populations_balance():
+    h = make_hierarchy([[0, 1], [2]], l1_size=4 * LINE, l2_size=16 * LINE)
+    rng = random.Random(7)
+    per_seq = {0: 0, 1: 0, 2: 0}
+    for _ in range(5000):
+        seq = rng.randrange(3)
+        addr = rng.randrange(64) * LINE
+        h.access(seq, addr, write=rng.random() < 0.3)
+        per_seq[seq] += 1
+    counters = h.counters()
+    for seq, count in per_seq.items():
+        assert h.l1(seq).hits + h.l1(seq).misses == count
+    assert counters["l1_hits"] + counters["l1_misses"] == 5000
+    # every L1 miss is one L2 reference, every L2 miss one memory access
+    assert (counters["l2_hits"] + counters["l2_misses"]
+            == counters["l1_misses"])
+    assert counters["mem_accesses"] == counters["l2_misses"]
+
+
+# ----------------------------------------------------------------------
+# Machine integration
+# ----------------------------------------------------------------------
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def misp_summary():
+    return summarize_run(Session("misp", "1x8").run("RayTracer",
+                                                    scale=SCALE))
+
+
+@pytest.fixture(scope="module")
+def smp_summary():
+    return summarize_run(Session("smp", "smp8").run("RayTracer",
+                                                    scale=SCALE))
+
+
+class TestMachineIntegration:
+    def test_shared_vs_private_l2_observable(self, misp_summary,
+                                             smp_summary):
+        """The acceptance criterion: same workload, default params --
+        MISP (shared L2) and SMP (private L2s) report different
+        L1-invalidation and L2-hit counts."""
+        misp, smp = misp_summary.mem, smp_summary.mem
+        assert misp.accesses > 1000 and smp.accesses > 1000
+        assert misp.l2_hits != smp.l2_hits
+        assert misp.l1_invalidations != smp.l1_invalidations
+        # the qualitative shape: MISP's lock/data ping-pong refills
+        # from the shared L2; SMP's goes through cross-L2
+        # invalidations to memory
+        assert misp.l2_hits > 100 and smp.l2_hits < misp.l2_hits // 10
+        assert misp.l2_invalidations == 0
+        assert smp.l2_invalidations > 100
+        assert smp.mem_accesses > misp.mem_accesses
+
+    def test_tlb_counters_surfaced(self, misp_summary):
+        mem = misp_summary.mem
+        assert mem.tlb_hits > 0 and mem.tlb_misses > 0
+        assert mem.tlb_flushes >= 1    # CR3 write at switch-in
+
+    def test_determinism(self):
+        a = summarize_run(Session("misp", "1x4").run("gauss", scale=SCALE))
+        b = summarize_run(Session("misp", "1x4").run("gauss", scale=SCALE))
+        assert a.to_dict() == b.to_dict()
+
+    def test_asm_fetch_and_data_go_through_hierarchy(self):
+        from repro.core import build_machine
+        from repro.isa import AsmStream, assemble
+        params = DEFAULT_PARAMS.with_changes(timer_quantum=10**12,
+                                             device_interrupt_period=0)
+        machine = build_machine([1], params=params)
+        proc = machine.spawn_process("asm")
+        space = proc.address_space
+        space._next_vpn = 0x100000 // PAGE_SIZE
+        space.reserve("data", 2)
+        program = assemble("""
+            li r0, 0x100000
+            li r1, 7
+            st r1, r0, 0
+            ld r2, r0, 0
+            halt
+        """)
+        stream = AsmStream(program, proc, params, label="m")
+        machine.spawn_thread(proc, "m", stream, pinned_cpu=0)
+        machine.run_to_completion(limit=10**10)
+        assert stream.regs[2] == 7
+        counters = machine.hierarchy.counters()
+        # at least one fetch per retired instruction, plus the data ops
+        assert (counters["l1_hits"] + counters["l1_misses"]
+                >= stream.instructions_retired + 2)
+        oms = machine.processors[0].oms
+        assert oms.tlb.hits + oms.tlb.misses > 0
+
+
+# ----------------------------------------------------------------------
+# RunSummary plumbing
+# ----------------------------------------------------------------------
+class TestSummaryPlumbing:
+    def test_defaults_not_shared_between_instances(self):
+        """Regression: proxy/utilization/mem used to be single shared
+        default instances across every RunSummary."""
+        a = RunSummary("w1", "misp", "1x8", 1)
+        b = RunSummary("w2", "misp", "1x8", 2)
+        assert a.proxy is not b.proxy
+        assert a.utilization is not b.utilization
+        assert a.mem is not b.mem
+        assert isinstance(a.proxy, ProxySummary)
+        assert isinstance(a.utilization, UtilizationSummary)
+        assert isinstance(a.mem, MemorySummary)
+
+    def test_mem_round_trips_through_dict(self, misp_summary):
+        clone = RunSummary.from_dict(misp_summary.to_dict())
+        assert clone.mem == misp_summary.mem
+        assert clone == misp_summary
+
+    def test_from_dict_tolerates_missing_mem(self):
+        data = RunSummary("w", "misp", "1x8", 1).to_dict()
+        del data["mem"]
+        assert RunSummary.from_dict(data).mem == MemorySummary()
+
+    def test_hit_rates(self):
+        mem = MemorySummary(l1_hits=3, l1_misses=1, l2_hits=1, l2_misses=0)
+        assert mem.accesses == 4
+        assert mem.l1_hit_rate == pytest.approx(0.75)
+        assert mem.l2_hit_rate == pytest.approx(1.0)
+        assert MemorySummary().l1_hit_rate == 0.0
