@@ -1,0 +1,67 @@
+"""Compare two pytest-benchmark JSON files and flag regressions.
+
+Benchmarks are matched by test name; each pair's median wall-clock
+times are compared, and the run fails (exit 1) when any benchmark
+regresses by more than the threshold.  Benchmarks present in only one
+file are reported but never fail the comparison, so adding or
+retiring a benchmark does not break CI.
+
+Usage::
+
+    python benchmarks/compare_bench.py BENCH_baseline.json BENCH_new.json
+    python benchmarks/compare_bench.py old.json new.json --threshold 0.10
+"""
+
+import argparse
+import json
+from typing import Optional, Sequence
+
+
+def load_medians(path: str) -> dict:
+    with open(path) as handle:
+        data = json.load(handle)
+    return {bench["name"]: bench["stats"]["median"]
+            for bench in data["benchmarks"]}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="baseline benchmark JSON")
+    parser.add_argument("candidate", help="candidate benchmark JSON")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="fail when a median regresses by more than "
+                             "this fraction (default 0.25 = +25%%)")
+    args = parser.parse_args(argv)
+
+    base = load_medians(args.baseline)
+    cand = load_medians(args.candidate)
+    shared = sorted(set(base) & set(cand))
+
+    width = max((len(name) for name in shared), default=4)
+    print(f"{'benchmark':<{width}s} {'base':>9s} {'cand':>9s} {'delta':>8s}")
+    regressions = []
+    for name in shared:
+        ratio = cand[name] / base[name] - 1.0
+        flag = ""
+        if ratio > args.threshold:
+            regressions.append(name)
+            flag = "  << REGRESSION"
+        print(f"{name:<{width}s} {base[name]:>8.3f}s {cand[name]:>8.3f}s "
+              f"{ratio * 100:>+7.1f}%{flag}")
+
+    for name in sorted(set(cand) - set(base)):
+        print(f"{name:<{width}s} {'-':>9s} {cand[name]:>8.3f}s      new")
+    for name in sorted(set(base) - set(cand)):
+        print(f"{name:<{width}s} {base[name]:>8.3f}s {'-':>9s}  removed")
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed beyond "
+              f"{args.threshold * 100:.0f}%: {', '.join(regressions)}")
+        return 1
+    print(f"\nno benchmark regressed beyond {args.threshold * 100:.0f}% "
+          f"({len(shared)} compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,86 @@
+"""Profile the report pipeline under cProfile.
+
+Runs one evaluation artifact (or the full report) through an
+in-process serial Runner with the profiler enabled, then prints the
+hottest functions.  Serial execution keeps all simulation work in the
+profiled process -- a parallel Runner would hide it in worker
+processes.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/profile_report.py figure_mem
+    PYTHONPATH=src python benchmarks/profile_report.py report --scale 0.1
+    PYTHONPATH=src python benchmarks/profile_report.py figure_mem --replay
+    PYTHONPATH=src python benchmarks/profile_report.py table1 \
+        --sort tottime -o table1.prof   # then: snakeviz table1.prof
+"""
+
+import argparse
+import cProfile
+import io
+import pstats
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.figure4 import run_figure4
+from repro.analysis.figure_mem import run_figure_mem
+from repro.analysis.report import full_report
+from repro.analysis.table1 import run_table1
+from repro.experiments import Runner
+
+#: default workload scale: big enough that simulation dominates
+#: profiler overhead, small enough to iterate on
+DEFAULT_SCALE = 0.25
+
+TARGETS = {
+    "report": lambda scale, runner: full_report(
+        scale=scale, runner=runner, stream=io.StringIO()),
+    "figure4": lambda scale, runner: run_figure4(
+        ["RayTracer"], scale=scale, runner=runner),
+    "figure_mem": lambda scale, runner: run_figure_mem(
+        scale=scale, runner=runner),
+    "table1": lambda scale, runner: run_table1(
+        ["RayTracer"], scale=scale, runner=runner),
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("target", choices=sorted(TARGETS),
+                        nargs="?", default="figure_mem",
+                        help="artifact to regenerate under the profiler")
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE,
+                        help=f"workload scale (default {DEFAULT_SCALE})")
+    parser.add_argument("--replay", action="store_true",
+                        help="profile the trace-driven fast path")
+    parser.add_argument("--sort", default="cumulative",
+                        help="pstats sort key (cumulative, tottime, ...)")
+    parser.add_argument("--limit", type=int, default=30,
+                        help="rows of profile output to print")
+    parser.add_argument("-o", "--output", default=None,
+                        help="also dump raw stats (for snakeviz etc.)")
+    args = parser.parse_args(argv)
+
+    runner = Runner(parallel=False, replay=args.replay)
+    target = TARGETS[args.target]
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    target(args.scale, runner)
+    profiler.disable()
+
+    print(f"profiled {args.target} at scale {args.scale} "
+          f"({'replay' if args.replay else 'execute'} mode; "
+          f"runs: {runner.stats})")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.limit)
+    if args.output:
+        profiler.dump_stats(args.output)
+        print(f"raw profile written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

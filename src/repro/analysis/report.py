@@ -111,9 +111,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="run everything in-process, serially")
     parser.add_argument("--cache-dir", default=None,
                         help="on-disk run cache (incremental re-runs)")
+    parser.add_argument("--replay", action="store_true",
+                        help="capture once per sweep and replay the "
+                             "timing-only points (trace-driven fast path)")
     args = parser.parse_args(argv)
     runner = Runner(cache_dir=args.cache_dir, max_workers=args.jobs,
-                    parallel=not args.serial)
+                    parallel=not args.serial, replay=args.replay)
     full_report(args.workloads, args.scale, args.rt_scale, runner=runner)
     return 0
 

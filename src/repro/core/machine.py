@@ -64,6 +64,13 @@ class Machine:
         self.engine = Engine()
         self.trace = TraceLog(record_fine=record_fine_trace)
         self.proxy_stats = ProxyStats()
+        #: trace capture (repro.sim.captrace.TraceCapture), if enabled
+        self._cap: Optional[Any] = None
+        # hot-path params caches (MachineParams is frozen, so these
+        # can never go stale; they keep attribute chains out of the
+        # per-instruction cost loops)
+        self._page_walk_cost = params.page_walk_cost
+        self._signal_cost = params.signal_cost
 
         # -- build sequencers and processors ------------------------------
         self.sequencers: list[Sequencer] = []
@@ -89,6 +96,23 @@ class Machine:
         seq = Sequencer(len(self.sequencers), role, self.params.tlb_entries)
         self.sequencers.append(seq)
         return seq
+
+    def enable_capture(self) -> Any:
+        """Attach a :class:`~repro.sim.captrace.TraceCapture` recorder.
+
+        Must be called before any events are scheduled (the trace's
+        event graph needs seqnos dense from 0).  Returns the capture,
+        from which :class:`~repro.sim.captrace.CapturedTrace` is built
+        after the run.
+        """
+        from repro.sim.captrace import TraceCapture
+        if self.engine.events_executed or self.engine.pending():
+            raise SimulationError(
+                "enable_capture() must run before any events are scheduled")
+        if self._cap is None:
+            self._cap = TraceCapture(self.engine)
+            self.engine.set_recorder(self._cap)
+        return self._cap
 
     # ------------------------------------------------------------------
     # Topology helpers
@@ -222,6 +246,7 @@ class Machine:
                op: MachineOp) -> None:
         """Cost an op and schedule its completion."""
         params = self.params
+        cap = self._cap
         stream.sequencer = seq  # bind for commit-time translation
         cost: int
         action: Optional[tuple] = None
@@ -229,6 +254,8 @@ class Machine:
             cost = op.cycles
         elif isinstance(op, AtomicOp):
             cost = op.cycles or params.atomic_op_cost
+            if cap is not None and not op.cycles:
+                cap.pend_coef("atomic_op_cost")
             if op.vaddr is not None:   # a lock word in shared memory
                 cost, action = self._cost_access(seq, op.vaddr, True, cost)
         elif isinstance(op, Touch):
@@ -242,15 +269,22 @@ class Machine:
             cost, action = 0, ("syscall", op)
         elif isinstance(op, SignalShred):
             cost, action = params.signal_cost, ("signal", op)
+            if cap is not None:
+                cap.pend_coef("signal_cost")
         else:
             raise SimulationError(f"unknown machine op {op!r}")
         fetch = stream.fetch_addr(self.hierarchy)
         if fetch is not None:
             # instruction fetch goes through the same hierarchy (a
             # fault retry refetches, like the re-executed instruction)
-            cost += self.hierarchy.access(seq.seq_id, fetch)
+            fetch_cost = self.hierarchy.access(seq.seq_id, fetch)
+            cost += fetch_cost
+            if cap is not None:
+                cap.pend_access(seq.seq_id, fetch, 1, False, fetch_cost)
         seq.busy = True
         seq.busy_cycles += cost
+        if cap is not None:
+            cap.pend_busy(seq.seq_id)
         self.engine.schedule(cost, self._complete, seq, stream, op, action)
 
     def _cost_access(self, seq: Sequencer, vaddr: int, write: bool,
@@ -265,19 +299,25 @@ class Machine:
         if process is None:
             raise SimulationError(
                 f"sequencer {seq.seq_id} touched memory with no process")
+        cap = self._cap
         vpn = vpn_of(vaddr)
         cost = cycles
         frame = seq.tlb.lookup(vpn)
         if frame is None:
-            cost += self.params.page_walk_cost
+            cost += self._page_walk_cost
+            if cap is not None:
+                cap.pend_coef("page_walk_cost")
             pte = process.address_space.page_table.lookup(vpn)
             if pte is None:
                 return cost, ("fault", vpn)
             seq.tlb.insert(vpn, pte.frame)
             frame = pte.frame
         paddr = frame * PAGE_SIZE + vaddr % PAGE_SIZE
-        cost += self.hierarchy.access_range(seq.seq_id, paddr, span,
-                                            write=write)
+        access_cost = self.hierarchy.access_range(seq.seq_id, paddr, span,
+                                                  write=write)
+        cost += access_cost
+        if cap is not None:
+            cap.pend_access(seq.seq_id, paddr, span, write, access_cost)
         return cost, None
 
     def _complete(self, seq: Sequencer, stream: InstructionStream,
@@ -314,6 +354,8 @@ class Machine:
                                               requeue=False)
                 self.kernel.exit_thread(thread, self.now)
                 if thread.process.exited:
+                    if self._cap is not None:
+                        self._cap.mark("pexit", thread.process.pid)
                     self._kill_process_shreds(thread.process)
             self._advance(seq)  # drain pending / pick next thread
         else:
@@ -351,15 +393,20 @@ class Machine:
         process = seq.process_ref
         self.trace.count(seq.seq_id, EventKind.PAGE_FAULT)
         space = process.address_space
-        priv = (self.params.page_fault_service_cost if not space.is_resident(vpn)
-                else self.params.page_fault_service_cost // 4)
+        if not space.is_resident(vpn):
+            priv = self.params.page_fault_service_cost
+            priv_coefs = (("page_fault_service_cost", 1, 1),)
+        else:
+            priv = self.params.page_fault_service_cost // 4
+            priv_coefs = (("page_fault_service_cost", 1, 4),)
 
         def effect() -> None:
             if not space.is_resident(vpn):
                 self.kernel.service_page_fault(space, vpn)
 
         # the faulting op stays pending; _advance re-executes it
-        self._ring0_service(seq, EventKind.PAGE_FAULT, priv, effect=effect)
+        self._ring0_service(seq, EventKind.PAGE_FAULT, priv,
+                            priv_coefs=priv_coefs, effect=effect)
 
     def _on_syscall(self, seq: Sequencer, stream: InstructionStream,
                     op: SyscallOp) -> None:
@@ -369,6 +416,10 @@ class Machine:
             return
         self.trace.count(seq.seq_id, EventKind.SYSCALL)
         priv, spec = self.kernel.service_syscall(op.kind, op.cost)
+        # priv traces back to params only when neither the op nor the
+        # syscall table pinned an explicit cost
+        priv_coefs = ((("syscall_service_cost", 1, 1),)
+                      if op.cost is None and spec.cost is None else ())
         block_for = op.arg if (spec.blocks and isinstance(op.arg, int)
                                and op.arg > 0) else 0
 
@@ -377,28 +428,34 @@ class Machine:
             if block_for and seq.thread is not None:
                 self._block_thread(seq, block_for)
 
-        self._ring0_service(seq, EventKind.SYSCALL, priv, on_done=on_done)
+        self._ring0_service(seq, EventKind.SYSCALL, priv,
+                            priv_coefs=priv_coefs, on_done=on_done)
 
     # ------------------------------------------------------------------
     # Ring-transition serialization (Equation 1)
     # ------------------------------------------------------------------
     def _ring0_service(self, oms: Sequencer, kind: EventKind, priv: int,
-                       pre_cost: int = 0,
+                       pre_signals: int = 0,
+                       priv_coefs: tuple = (),
                        effect: Optional[Callable[[], None]] = None,
                        on_done: Optional[Callable[[], None]] = None) -> None:
         """Run one privileged service with full MISP serialization.
 
-        Timeline (Equation 1, plus Equation 3's leading term as
-        ``pre_cost`` for proxy services)::
+        Timeline (Equation 1, plus Equation 3's leading signals as
+        ``pre_signals`` for proxy services)::
 
-            t0            : Ring 3 -> Ring 0
-            +pre_cost+S   : all active AMSs suspended
-            +priv         : kernel service complete (``effect`` applied)
-            +S            : AMSs resumed, Ring 0 -> Ring 3
+            t0                : Ring 3 -> Ring 0
+            +pre_signals*S+S  : all active AMSs suspended
+            +priv             : kernel service complete (``effect`` applied)
+            +S                : AMSs resumed, Ring 0 -> Ring 3
 
         ``S`` (the suspend/resume broadcast) is charged only when the
         processor has AMSs with shreds attached; a plain CPU or an OMS
         whose shred team is switched out pays only ``priv``.
+
+        ``priv_coefs`` tells trace capture which MachineParams terms
+        ``priv`` decomposes into (empty when the cost is pinned by the
+        workload and so not re-priceable).
         """
         if oms.busy:
             raise SimulationError(f"{oms} entered Ring 0 while busy")
@@ -408,34 +465,46 @@ class Machine:
         self.trace.count(oms.seq_id, EventKind.RING_ENTER)
 
         def stage_suspend() -> None:
+            cap = self._cap
             active = oms.processor.active_amss()
             for ams in active:
                 ams.suspend(self.now)
                 self.trace.count(ams.seq_id, EventKind.AMS_SUSPEND)
+                if cap is not None:
+                    cap.mark("sus", ams.seq_id)
+            if cap is not None:
+                for key, mult, div in priv_coefs:
+                    cap.pend_coef(key, mult, div)
             self.engine.schedule(priv, stage_service, active)
 
         def stage_service(active: list[Sequencer]) -> None:
             if effect is not None:
                 effect()
-            signal = self.params.signal_cost if active else 0
+            signal = self._signal_cost if active else 0
+            if self._cap is not None and active:
+                self._cap.pend_coef("signal_cost")
             self.engine.schedule(signal, stage_resume, active)
 
         def stage_resume(active: list[Sequencer]) -> None:
+            cap = self._cap
             oms.exit_ring0()
             oms.busy = False
             self.trace.record(t0, self.now, oms.seq_id, EventKind.RING_EXIT,
                               detail=kind.value)
             for ams in active:
                 self.trace.count(ams.seq_id, EventKind.AMS_RESUME)
+                if cap is not None:
+                    cap.mark("res", ams.seq_id)
                 if ams.resume(self.now):
                     self._advance(ams)
             if on_done is not None:
                 on_done()
             self._advance(oms)
 
-        signal = (self.params.signal_cost
-                  if oms.processor.active_amss() else 0)
-        self.engine.schedule(pre_cost + signal, stage_suspend)
+        n_signals = pre_signals + (1 if oms.processor.active_amss() else 0)
+        if self._cap is not None and n_signals:
+            self._cap.pend_coef("signal_cost", n_signals)
+        self.engine.schedule(n_signals * self._signal_cost, stage_suspend)
 
     # ------------------------------------------------------------------
     # Proxy execution (Equations 2 and 3)
@@ -456,8 +525,12 @@ class Machine:
                                raised_at=self.now)
         request.stream = stream                      # type: ignore[attr-defined]
         request.process = ams.process_ref            # type: ignore[attr-defined]
+        cap = self._cap
+        if cap is not None:
+            request.cap_id = cap.proxy_raised()      # type: ignore[attr-defined]
+            cap.pend_coef("signal_cost")
         # Equation 2, first signal: notify the OMS
-        self.engine.schedule(self.params.signal_cost, self._proxy_arrive,
+        self.engine.schedule(self._signal_cost, self._proxy_arrive,
                              ams.processor, request)
 
     def _proxy_arrive(self, proc: MISPProcessor, request: ProxyRequest) -> None:
@@ -475,31 +548,39 @@ class Machine:
         process = request.process  # type: ignore[attr-defined]
         if request.kind is ProxyKind.PAGE_FAULT:
             space = process.address_space
-            priv = (self.params.page_fault_service_cost
-                    if not space.is_resident(request.vpn)
-                    else self.params.page_fault_service_cost // 4)
+            if not space.is_resident(request.vpn):
+                priv = self.params.page_fault_service_cost
+                priv_coefs = (("page_fault_service_cost", 1, 1),)
+            else:
+                priv = self.params.page_fault_service_cost // 4
+                priv_coefs = (("page_fault_service_cost", 1, 4),)
 
             def effect() -> None:
                 if not space.is_resident(request.vpn):
                     self.kernel.service_page_fault(space, request.vpn)
         else:
-            priv, _spec = self.kernel.service_syscall(
+            priv, spec = self.kernel.service_syscall(
                 request.service, request.cost_override)
+            priv_coefs = ((("syscall_service_cost", 1, 1),)
+                          if request.cost_override is None
+                          and spec.cost is None else ())
             request.result = 0
             effect = None
 
         def on_done() -> None:
             self._proxy_done(request)
 
-        # Equation 3: pre_cost = the leading `signal` (state swap /
+        # Equation 3: pre_signals = the leading `signal` (state swap /
         # impersonation), then the full Equation-1 serialization.
         self._ring0_service(oms, EventKind.PROXY_BEGIN, priv,
-                            pre_cost=self.params.signal_cost,
+                            pre_signals=1, priv_coefs=priv_coefs,
                             effect=effect, on_done=on_done)
 
     def _proxy_done(self, request: ProxyRequest) -> None:
         request.serviced = True
         self.proxy_stats.note_complete(request, self.now)
+        if self._cap is not None:
+            self._cap.mark("pdone", request.cap_id)  # type: ignore[attr-defined]
         ams = request.ams
         stream: InstructionStream = request.stream  # type: ignore[attr-defined]
         self.trace.count(ams.seq_id, EventKind.PROXY_END)
@@ -558,6 +639,7 @@ class Machine:
             raise SimulationError(f"context switch on busy {oms}")
         old = self.kernel.scheduler.preempt(cpu, requeue=True)
         cost = 0
+        n_save = 0
         if old is not None:
             old.context_switches += 1
             oms.stream = None
@@ -567,6 +649,7 @@ class Machine:
             if old.is_shredded:
                 self._freeze_team(old, proc)
                 cost += self.params.sequencer_state_save_cost
+                n_save += 1
             self.trace.count(oms.seq_id, EventKind.CONTEXT_SWITCH)
         new = self.kernel.scheduler.pick_next(cpu)
         if new is None:
@@ -578,7 +661,14 @@ class Machine:
             self.trace.count(oms.seq_id, EventKind.CONTEXT_SWITCH)
         if new.is_shredded:
             cost += self.params.sequencer_state_save_cost
+            n_save += 1
         oms.busy = True
+        if self._cap is not None:
+            # exactly one context_switch_cost is in `cost` on every
+            # path that reaches the schedule below
+            self._cap.pend_coef("context_switch_cost")
+            if n_save:
+                self._cap.pend_coef("sequencer_state_save_cost", n_save)
         self.engine.schedule(cost, self._finish_switch_in, cpu, new)
 
     def _finish_switch_in(self, cpu: int, thread: OSThread) -> None:
@@ -676,11 +766,14 @@ class Machine:
 
             self._ring0_service(oms, EventKind.TIMER,
                                 self.params.timer_service_cost,
+                                priv_coefs=(("timer_service_cost", 1, 1),),
                                 on_done=on_done)
         elif tag == "device":
             self.trace.count(oms.seq_id, EventKind.INTERRUPT)
-            self._ring0_service(oms, EventKind.INTERRUPT,
-                                self.params.interrupt_service_cost)
+            self._ring0_service(
+                oms, EventKind.INTERRUPT,
+                self.params.interrupt_service_cost,
+                priv_coefs=(("interrupt_service_cost", 1, 1),))
         elif tag == "proxy":
             self._service_proxy(oms, item[1])
         elif tag == "resched":

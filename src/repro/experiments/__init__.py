@@ -32,6 +32,7 @@ Quick start::
 from repro.experiments.cache import CACHE_VERSION, ResultCache
 from repro.experiments.runner import (
     ExperimentResult, Runner, RunnerStats, default_runner, execute,
+    execute_captured, execute_replay_group, replay_class,
     runner_from_env, set_default_runner,
 )
 from repro.experiments.spec import (
@@ -44,7 +45,8 @@ from repro.experiments.summary import (
 
 __all__ = [
     "CACHE_VERSION", "ResultCache", "ExperimentResult", "Runner",
-    "RunnerStats", "default_runner", "execute", "runner_from_env",
+    "RunnerStats", "default_runner", "execute", "execute_captured",
+    "execute_replay_group", "replay_class", "runner_from_env",
     "set_default_runner",
     "DEFAULT_CONFIGS", "FIGURE7_SEQUENCERS", "SYSTEMS", "ExperimentSpec",
     "RunSpec", "EVENT_KEYS", "MemorySummary", "ProxySummary", "RunSummary",

@@ -6,6 +6,13 @@ audit and invalidation) and the :class:`RunSummary`.  Writes are
 atomic (temp file + ``os.replace``) so concurrent writers -- parallel
 Runner workers, or two simultaneous invocations sharing a cache
 directory -- can only ever race to write identical content.
+
+Timing identity is part of the key: an execution-driven summary lives
+in ``<spec_hash>.json``, a trace-driven replay summary (see
+:mod:`repro.sim.captrace`) in ``<spec_hash>.replay.json``, and each
+entry also records its ``timing`` in the payload.  A replay summary
+can therefore never alias -- or be served in place of -- the
+execution-driven numbers for the same spec.
 """
 
 from __future__ import annotations
@@ -20,22 +27,25 @@ from repro.experiments.spec import RunSpec
 from repro.experiments.summary import RunSummary
 
 #: bump to invalidate every previously cached summary
-CACHE_VERSION = 1
+#: (2: timing-identity keys -- replay entries split from execute ones)
+CACHE_VERSION = 2
 
 
 class ResultCache:
-    """A directory of ``<spec_hash>.json`` run summaries."""
+    """A directory of ``<spec_hash>[.replay].json`` run summaries."""
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root).expanduser()
         self.root.mkdir(parents=True, exist_ok=True)
 
-    def path_for(self, spec: RunSpec) -> Path:
-        return self.root / f"{spec.spec_hash()}.json"
+    def path_for(self, spec: RunSpec, timing: str = "execute") -> Path:
+        suffix = ".json" if timing == "execute" else f".{timing}.json"
+        return self.root / f"{spec.spec_hash()}{suffix}"
 
-    def get(self, spec: RunSpec) -> Optional[RunSummary]:
+    def get(self, spec: RunSpec,
+            timing: str = "execute") -> Optional[RunSummary]:
         """The cached summary for ``spec``, or None on miss/corruption."""
-        path = self.path_for(spec)
+        path = self.path_for(spec, timing)
         try:
             with path.open("r", encoding="utf-8") as fh:
                 payload = json.load(fh)
@@ -43,7 +53,12 @@ class ResultCache:
                 return None
             if payload.get("spec_hash") != spec.spec_hash():
                 return None
-            return RunSummary.from_dict(payload["summary"])
+            if payload.get("timing", "execute") != timing:
+                return None
+            summary = RunSummary.from_dict(payload["summary"])
+            if summary.timing != timing:
+                return None
+            return summary
         except FileNotFoundError:
             return None
         except (OSError, ValueError, KeyError, TypeError):
@@ -51,10 +66,11 @@ class ResultCache:
             return None
 
     def put(self, spec: RunSpec, summary: RunSummary) -> Path:
-        path = self.path_for(spec)
+        path = self.path_for(spec, summary.timing)
         payload = {
             "cache_version": CACHE_VERSION,
             "spec_hash": spec.spec_hash(),
+            "timing": summary.timing,
             "spec": spec.to_dict(),
             "summary": summary.to_dict(),
         }

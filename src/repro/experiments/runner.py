@@ -10,10 +10,20 @@ execute concurrently in worker processes.
 :func:`execute` is the single entry point that maps a spec to a
 finished summary; it is a module-level function so
 ``ProcessPoolExecutor`` can ship it to workers.
+
+With ``replay=True`` (or ``REPRO_REPLAY=1``) the Runner additionally
+exploits the trace-driven fast path (:mod:`repro.sim.captrace`): specs
+that differ only in replay-safe timing parameters form a *replay
+class*, and each class runs as one execution-driven capture plus cheap
+trace replays -- a figure's ``mem_cost``/``signal_cost`` sweep
+simulates once instead of once per point.  Replay summaries carry
+``timing="replay"`` and are cached under a distinct key, so they never
+alias execution-driven numbers.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
@@ -23,6 +33,7 @@ import repro.workloads  # noqa: F401  -- populates the workload registry
 from repro.experiments.cache import ResultCache
 from repro.experiments.spec import ExperimentSpec, RunSpec
 from repro.experiments.summary import RunSummary
+from repro.sim.captrace import REPLAY_SAFE_FIELDS, ReplayMachine
 from repro.systems import Session, get_system
 from repro.workloads.base import REGISTRY
 
@@ -45,12 +56,58 @@ def execute(spec: RunSpec) -> RunSummary:
     return backend.summarize(run, spec)
 
 
+def execute_captured(spec: RunSpec):
+    """Run one spec execution-driven with trace capture.
+
+    Returns ``(summary, trace)`` where ``trace`` is a
+    :class:`~repro.sim.captrace.CapturedTrace` with the summary
+    attached as its snapshot (everything picklable, so workers can
+    ship it back).
+    """
+    backend = get_system(spec.system)
+    workload = REGISTRY.build(spec.workload, spec.scale, **dict(spec.args))
+    run = (Session(backend, spec.config)
+           .params(spec.params).policy(spec.policy).limit(spec.limit)
+           .background(spec.background).capture().run(workload))
+    summary = backend.summarize(run, spec)
+    trace = run.trace
+    trace.snapshot = summary
+    return summary, trace
+
+
+def execute_replay_group(specs: Sequence[RunSpec]) -> list[RunSummary]:
+    """Run one replay class: capture ``specs[0]``, replay the rest.
+
+    Returns summaries in input order; the first is execution-driven
+    (``timing="execute"``), the rest trace-driven re-pricings of it
+    (``timing="replay"``).
+    """
+    summary, trace = execute_captured(specs[0])
+    replayer = ReplayMachine(trace)
+    return [summary] + [replayer.run(spec=spec) for spec in specs[1:]]
+
+
+def replay_class(spec: RunSpec) -> Optional[str]:
+    """Grouping key for specs replayable from one shared capture.
+
+    Two specs share a class when they differ only in
+    :data:`~repro.sim.captrace.REPLAY_SAFE_FIELDS` timing parameters.
+    Returns None when the spec's backend cannot capture at all.
+    """
+    if not get_system(spec.system).supports_capture:
+        return None
+    ident = spec.to_dict()
+    ident["params"] = {k: v for k, v in ident["params"].items()
+                      if k not in REPLAY_SAFE_FIELDS}
+    return json.dumps(ident, sort_keys=True)
+
+
 @dataclass
 class RunnerStats:
     """Where each requested run came from."""
 
     requested: int = 0
-    #: simulations actually executed
+    #: simulations actually executed (execution-driven; captures included)
     executed: int = 0
     #: duplicate grid members folded onto a shared run
     deduplicated: int = 0
@@ -58,11 +115,19 @@ class RunnerStats:
     memo_hits: int = 0
     #: served from the on-disk cache
     cache_hits: int = 0
+    #: executed runs that also recorded a replayable trace
+    captured: int = 0
+    #: summaries produced by trace replay instead of execution
+    replayed: int = 0
 
     def __str__(self) -> str:
-        return (f"{self.requested} requested = {self.executed} executed "
+        extra = (f" ({self.captured} captured, {self.replayed} replayed)"
+                 if self.captured or self.replayed else "")
+        return (f"{self.requested} requested = "
+                f"{self.executed + self.replayed} executed "
                 f"+ {self.deduplicated} deduplicated "
-                f"+ {self.memo_hits} memoized + {self.cache_hits} cached")
+                f"+ {self.memo_hits} memoized + {self.cache_hits} cached"
+                f"{extra}")
 
 
 class ExperimentResult:
@@ -110,15 +175,21 @@ class Runner:
       hash, so re-invocations (new processes) are served from cache;
     * independent specs execute in parallel worker processes via
       :class:`concurrent.futures.ProcessPoolExecutor` (``parallel=False``
-      or ``max_workers=1`` forces in-process serial execution).
+      or ``max_workers=1`` forces in-process serial execution);
+    * with ``replay=True``, specs differing only in replay-safe timing
+      parameters share one execution-driven capture and replay the
+      rest through :class:`~repro.sim.captrace.ReplayMachine`
+      (replayed summaries carry ``timing="replay"``).
     """
 
     def __init__(self, cache_dir: Optional[Union[str, os.PathLike]] = None,
                  max_workers: Optional[int] = None,
-                 parallel: bool = True) -> None:
+                 parallel: bool = True,
+                 replay: bool = False) -> None:
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self.max_workers = max_workers or os.cpu_count() or 1
         self.parallel = parallel and self.max_workers > 1
+        self.replay = replay
         self.stats = RunnerStats()
         self._memo: dict[str, RunSummary] = {}
 
@@ -148,7 +219,11 @@ class Runner:
                 self.stats.memo_hits += 1
                 continue
             if self.cache is not None:
+                # execution-driven entries are exact, so they satisfy
+                # either mode; a replay entry only satisfies replay mode
                 hit = self.cache.get(spec)
+                if hit is None and self.replay:
+                    hit = self.cache.get(spec, timing="replay")
                 if hit is not None:
                     self._memo[key] = hit
                     self.stats.cache_hits += 1
@@ -181,31 +256,71 @@ class Runner:
         """
         if not specs:
             return
+        tasks = self._plan_tasks(specs)
         failure: Optional[BaseException] = None
-        if self.parallel and len(specs) > 1:
-            workers = min(self.max_workers, len(specs))
+        if self.parallel and len(tasks) > 1:
+            workers = min(self.max_workers, len(tasks))
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {pool.submit(execute, spec): spec
-                           for spec in specs}
+                futures = {}
+                for group in tasks:
+                    if len(group) == 1:
+                        futures[pool.submit(execute, group[0])] = group
+                    else:
+                        futures[pool.submit(execute_replay_group,
+                                            group)] = group
                 for future in as_completed(futures):
+                    group = futures[future]
                     try:
-                        self._store(futures[future], future.result())
+                        result = future.result()
                     except Exception as exc:
                         failure = failure or exc
+                        continue
+                    self._store_group(group, result if len(group) > 1
+                                      else [result])
         else:
-            for spec in specs:
+            for group in tasks:
                 try:
-                    self._store(spec, execute(spec))
+                    result = (execute_replay_group(group)
+                              if len(group) > 1 else [execute(group[0])])
                 except Exception as exc:
                     failure = failure or exc
+                    continue
+                self._store_group(group, result)
         if failure is not None:
             raise failure
 
-    def _store(self, spec: RunSpec, summary: RunSummary) -> None:
-        self.stats.executed += 1
-        self._memo[spec.spec_hash()] = summary
-        if self.cache is not None:
-            self.cache.put(spec, summary)
+    def _plan_tasks(self, specs: Sequence[RunSpec]) -> list[list[RunSpec]]:
+        """Partition specs into pool tasks.
+
+        Without replay, every spec is its own task.  With replay,
+        specs in the same replay class become one multi-spec task
+        (capture the first, replay the rest); classes of one -- and
+        specs whose backend cannot capture -- stay singleton
+        execution-driven tasks.
+        """
+        if not self.replay:
+            return [[spec] for spec in specs]
+        groups: dict[Optional[str], list[RunSpec]] = {}
+        tasks: list[list[RunSpec]] = []
+        for spec in specs:
+            key = replay_class(spec)
+            if key is None:
+                tasks.append([spec])
+            else:
+                groups.setdefault(key, []).append(spec)
+        tasks.extend(groups.values())
+        return tasks
+
+    def _store_group(self, group: Sequence[RunSpec],
+                     summaries: Sequence[RunSummary]) -> None:
+        for spec, summary in zip(group, summaries):
+            self._memo[spec.spec_hash()] = summary
+            if self.cache is not None:
+                self.cache.put(spec, summary)
+        self.stats.executed += 1      # group[0] always executes
+        if len(group) > 1:
+            self.stats.captured += 1
+            self.stats.replayed += len(group) - 1
 
 
 # ----------------------------------------------------------------------
@@ -218,12 +333,14 @@ def runner_from_env() -> Runner:
     """A Runner configured from the documented environment knobs:
     ``REPRO_CACHE_DIR`` enables the on-disk cache, ``REPRO_MAX_WORKERS``
     bounds parallelism, ``REPRO_SERIAL=1`` forces serial in-process
-    execution."""
+    execution, ``REPRO_REPLAY=1`` enables the capture-once/replay-rest
+    fast path for timing-only sweeps."""
     max_workers = os.environ.get("REPRO_MAX_WORKERS")
     return Runner(
         cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
         max_workers=int(max_workers) if max_workers else None,
         parallel=os.environ.get("REPRO_SERIAL", "") not in ("1", "true"),
+        replay=os.environ.get("REPRO_REPLAY", "") in ("1", "true"),
     )
 
 

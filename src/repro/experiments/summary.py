@@ -130,6 +130,9 @@ class RunSummary:
     legacy_calls_translated: int = 0
     #: content hash of the RunSpec that produced this summary
     spec_hash: str = ""
+    #: how the numbers were produced: "execute" (execution-driven) or
+    #: "replay" (trace-driven re-pricing; see repro.sim.captrace)
+    timing: str = "execute"
 
     # -- RunResult-compatible accessors --------------------------------
     def serializing_events(self) -> dict[str, int]:

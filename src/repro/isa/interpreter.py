@@ -56,6 +56,9 @@ class AsmStream(InstructionStream):
         self.program = program
         self.process = process
         self.params = params
+        # params is frozen; hoist the per-instruction base cost out of
+        # the _issue hot loop
+        self._base_cost = params.isa_instruction_cost
         self.label = label
         self.regs = [0] * NUM_REGS
         if stack_top is not None:
@@ -140,7 +143,7 @@ class AsmStream(InstructionStream):
     # Issue: expose the instruction's action as a machine op
     # ------------------------------------------------------------------
     def _issue(self, instr: Instruction) -> Optional[MachineOp]:
-        base = self.params.isa_instruction_cost
+        base = self._base_cost
         opcode = instr.opcode
         if opcode is Opcode.HALT:
             return None

@@ -28,11 +28,19 @@ sequencer's TLB first (``Machine._cost_access``) and then charges the
 hierarchy.  Instruction fetches use synthetic
 physical addresses above the frame store, handed out per program
 image by :meth:`MemoryHierarchy.code_segment`.
+
+This is the simulator's hottest code: a page ``Touch`` streams 64
+lines through :meth:`MemoryHierarchy.access_range` and every
+instruction fetch probes the L1.  Cache sets are flat Python lists
+(LRU at index 0, MRU last) -- membership, promotion, and eviction on
+a 4/8-entry list are single C-level list operations -- and
+``access_range`` computes the line range once and charges the span
+analytically from batched per-level hit counts, preserving exact LRU
+semantics (asserted in ``tests/test_hierarchy.py``).
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
 
 from repro.errors import ConfigurationError
@@ -53,6 +61,8 @@ class Cache:
     the hierarchy does the division once per access.  ``access`` does
     not allocate -- the hierarchy installs lines explicitly with
     ``fill`` so it can keep its coherence directory in sync.
+
+    Sets are flat lists ordered LRU-first: exact LRU, array-backed.
     """
 
     __slots__ = ("name", "assoc", "num_sets", "_sets",
@@ -68,8 +78,7 @@ class Cache:
         self.name = name
         self.assoc = assoc
         self.num_sets = max(1, lines // assoc)
-        self._sets: list[OrderedDict[int, None]] = [
-            OrderedDict() for _ in range(self.num_sets)]
+        self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
@@ -83,7 +92,9 @@ class Cache:
         """Look a line up, updating LRU order; True on a hit."""
         entries = self._sets[line % self.num_sets]
         if line in entries:
-            entries.move_to_end(line)
+            if entries[-1] != line:
+                entries.remove(line)
+                entries.append(line)
             self.hits += 1
             return True
         self.misses += 1
@@ -93,13 +104,15 @@ class Cache:
         """Install a line, returning the evicted line number (if any)."""
         entries = self._sets[line % self.num_sets]
         if line in entries:
-            entries.move_to_end(line)
+            if entries[-1] != line:
+                entries.remove(line)
+                entries.append(line)
             return None
         evicted = None
         if len(entries) >= self.assoc:
-            evicted, _ = entries.popitem(last=False)
+            evicted = entries.pop(0)
             self.evictions += 1
-        entries[line] = None
+        entries.append(line)
         return evicted
 
     def invalidate(self, line: int) -> bool:
@@ -107,7 +120,7 @@ class Cache:
         entries = self._sets[line % self.num_sets]
         if line not in entries:
             return False
-        del entries[line]
+        entries.remove(line)
         self.invalidations += 1
         return True
 
@@ -169,6 +182,17 @@ class MemoryHierarchy:
             self._l2_of[seq_id] = l2
         return l2
 
+    def domains(self) -> tuple[tuple[int, ...], ...]:
+        """Topology as plain data: one tuple of seq_ids per L2 domain.
+
+        Feeds :class:`repro.sim.captrace.ReplayMachine`, which rebuilds
+        an identical hierarchy under new parameters.
+        """
+        return tuple(
+            tuple(seq_id for seq_id, cache in self._l2_of.items()
+                  if cache is l2)
+            for l2 in self.l2s)
+
     def l1(self, seq_id: int) -> Cache:
         try:
             return self._l1s[seq_id]
@@ -185,7 +209,10 @@ class MemoryHierarchy:
     # ------------------------------------------------------------------
     def access(self, seq_id: int, paddr: int, write: bool = False) -> int:
         """One memory access by ``seq_id``; returns the cycles to charge."""
-        line = paddr // self.line_size
+        return self.access_line(seq_id, paddr // self.line_size, write)
+
+    def access_line(self, seq_id: int, line: int, write: bool = False) -> int:
+        """One access by pre-computed line number (the scalar hot path)."""
         params = self.params
         l1 = self._l1s.get(seq_id)
         if l1 is None:
@@ -206,20 +233,69 @@ class MemoryHierarchy:
 
     def access_range(self, seq_id: int, paddr: int, num_bytes: int,
                      write: bool = False) -> int:
-        """Stream ``num_bytes`` from ``paddr`` line by line.
+        """Stream ``num_bytes`` from ``paddr`` as a batch of lines.
 
         This is what a page :class:`~repro.exec.ops.Touch` charges:
         the loop body referencing every line of the page, so cache
         capacity, reuse, and the miss penalty all scale with the data
         actually moved rather than with page count.
+
+        The line range is computed once (one division per call, not
+        per line), the per-line L1/L2 probes are inlined, and the
+        span's cycle charge is assembled analytically from the
+        per-level hit counts -- identical counters and total cost to
+        the scalar walk, without the per-line call overhead.
         """
-        cycles = 0
-        addr = paddr
-        end = paddr + max(1, num_bytes)
-        while addr < end:
-            cycles += self.access(seq_id, addr, write)
-            addr += self.line_size
-        return cycles
+        line_size = self.line_size
+        first = paddr // line_size
+        last = (paddr + max(1, num_bytes) - 1) // line_size
+        if first == last:
+            return self.access_line(seq_id, first, write)
+        l1 = self._l1s.get(seq_id)
+        if l1 is None:
+            raise ConfigurationError(
+                f"sequencer {seq_id} is attached to no hierarchy domain")
+        l2 = self._l2_of[seq_id]
+        l1_sets, l1_num_sets = l1._sets, l1.num_sets
+        l2_sets, l2_num_sets = l2._sets, l2.num_sets
+        install = self._install
+        invalidate_sharers = self._invalidate_sharers if write else None
+        n_l1_hits = 0
+        n_l2_hits = 0
+        n_mem = 0
+        for line in range(first, last + 1):
+            entries = l1_sets[line % l1_num_sets]
+            if line in entries:
+                if entries[-1] != line:
+                    entries.remove(line)
+                    entries.append(line)
+                n_l1_hits += 1
+            else:
+                entries = l2_sets[line % l2_num_sets]
+                if line in entries:
+                    if entries[-1] != line:
+                        entries.remove(line)
+                        entries.append(line)
+                    n_l2_hits += 1
+                else:
+                    n_mem += 1
+                    install(l2, line)
+                install(l1, line)
+            if invalidate_sharers is not None:
+                invalidate_sharers(line, l1, l2)
+        n_lines = last - first + 1
+        n_l1_misses = n_lines - n_l1_hits
+        l1.hits += n_l1_hits
+        l1.misses += n_l1_misses
+        l2.hits += n_l2_hits
+        l2.misses += n_mem
+        self.mem_accesses += n_mem
+        # cumulative charge: every line pays L1, every L1 miss adds the
+        # L2 probe, every L2 miss adds the memory penalty
+        params = self.params
+        return (n_lines * params.l1_hit_cost
+                + n_l1_misses * params.l2_hit_cost
+                + n_mem * params.mem_cost)
 
     def _install(self, cache: Cache, line: int) -> None:
         evicted = cache.fill(line)

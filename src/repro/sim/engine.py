@@ -6,8 +6,17 @@ scheduled at absolute cycle times and executed in time order, with a
 monotonically increasing sequence number breaking ties so execution is
 fully deterministic.
 
+Heap entries are ``(time, seqno, event)`` tuples rather than the
+:class:`Event` objects themselves, so every sift comparison inside
+``heapq`` is a C-level tuple compare instead of a Python-level
+``Event.__lt__`` call -- the engine's hottest path.
+
 The engine knows nothing about sequencers, kernels, or memory -- those
-layers schedule events against it.
+layers schedule events against it.  It does expose one observation
+hook: a *recorder* (see :mod:`repro.sim.captrace`) notified of every
+``schedule`` with the identity of the event being executed at that
+moment, which is how trace capture reconstructs the run's event
+dependency graph without touching the machine's control flow.
 """
 
 from __future__ import annotations
@@ -54,13 +63,19 @@ class Engine:
 
     def __init__(self) -> None:
         self._now = 0
-        self._heap: list[Event] = []
+        #: heap of (time, seqno, Event) -- tuple keys keep heapq
+        #: comparisons in C
+        self._heap: list[tuple[int, int, Event]] = []
         self._next_seqno = 0
         self._running = False
         self._executed = 0
         #: cancelled events still sitting in the heap (lazy deletion),
         #: maintained so pending() is O(1) instead of a heap scan
         self._cancelled_queued = 0
+        #: trace recorder (repro.sim.captrace.TraceCapture), if any
+        self._recorder: Optional[Any] = None
+        #: seqno of the event currently executing (-1 outside run())
+        self._current_seqno = -1
 
     # ------------------------------------------------------------------
     # Clock
@@ -75,6 +90,15 @@ class Engine:
         """Number of callbacks executed so far (for instrumentation)."""
         return self._executed
 
+    @property
+    def current_seqno(self) -> int:
+        """Seqno of the executing event (-1 when not inside a callback)."""
+        return self._current_seqno
+
+    def set_recorder(self, recorder: Optional[Any]) -> None:
+        """Attach (or with None, detach) a schedule recorder."""
+        self._recorder = recorder
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
@@ -87,10 +111,13 @@ class Engine:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        event = Event(self._now + delay, self._next_seqno, callback, args,
-                      engine=self)
-        self._next_seqno += 1
-        heapq.heappush(self._heap, event)
+        seqno = self._next_seqno
+        self._next_seqno = seqno + 1
+        event = Event(self._now + delay, seqno, callback, args, engine=self)
+        heapq.heappush(self._heap, (event.time, seqno, event))
+        recorder = self._recorder
+        if recorder is not None:
+            recorder.on_schedule(seqno, self._current_seqno, self._now, delay)
         return event
 
     def schedule_at(self, time: int, callback: Callable[..., None],
@@ -119,8 +146,10 @@ class Engine:
 
     def _compact(self) -> None:
         """Rebuild the heap without cancelled events (order preserved
-        by the (time, seqno) ordering invariant)."""
-        self._heap = [e for e in self._heap if not e.cancelled]
+        by the (time, seqno) ordering invariant).  In place, because
+        run() holds a local alias to the heap list."""
+        self._heap[:] = [entry for entry in self._heap
+                         if not entry[2].cancelled]
         heapq.heapify(self._heap)
         self._cancelled_queued = 0
 
@@ -138,29 +167,33 @@ class Engine:
             raise SimulationError("engine is already running (re-entrant run())")
         self._running = True
         executed_this_run = 0
+        heap = self._heap
+        pop = heapq.heappop
         try:
-            while self._heap:
-                event = self._heap[0]
+            while heap:
+                time, seqno, event = heap[0]
                 if event.cancelled:
-                    heapq.heappop(self._heap)
+                    pop(heap)
                     self._cancelled_queued -= 1
                     continue
-                if until is not None and event.time > until:
+                if until is not None and time > until:
                     self._now = until
                     break
                 if max_events is not None and executed_this_run >= max_events:
                     break
-                heapq.heappop(self._heap)
+                pop(heap)
                 event.finished = True
-                if event.time < self._now:
+                if time < self._now:
                     raise SimulationError(
-                        f"time went backwards: event at {event.time}, now {self._now}")
-                self._now = event.time
+                        f"time went backwards: event at {time}, now {self._now}")
+                self._now = time
+                self._current_seqno = seqno
                 event.callback(*event.args)
                 self._executed += 1
                 executed_this_run += 1
         finally:
             self._running = False
+            self._current_seqno = -1
         return self._now
 
     def pending(self) -> int:

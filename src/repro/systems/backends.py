@@ -210,6 +210,9 @@ class MultiprogBackend(SystemBackend):
     default_config = "1x8"
     default_limit = MULTIPROG_HORIZON
     supports_background = True
+    # drive() polls fixed slices against a horizon, so the engine
+    # never drains and the trace's event graph would be truncated
+    supports_capture = False
     description = "shredded app + background load (Figure 7)"
 
     def canonical_config(self, config: str,

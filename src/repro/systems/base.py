@@ -76,6 +76,10 @@ class SystemBackend:
     default_limit: int = DEFAULT_LIMIT
     #: whether ``background`` (multiprogramming load) is meaningful
     supports_background: bool = False
+    #: whether trace capture/replay (repro.sim.captrace) is valid for
+    #: this backend's drive loop (requires a plain run-to-completion
+    #: engine drain)
+    supports_capture: bool = True
     #: one-line description for docs and error messages
     description: str = ""
 

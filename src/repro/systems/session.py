@@ -44,6 +44,7 @@ class Session:
         self._policy: QueuePolicy = QueuePolicy.FIFO
         self._limit: Optional[int] = None
         self._background = 0
+        self._capture = False
 
     # ------------------------------------------------------------------
     # Knobs (each returns a new Session)
@@ -92,6 +93,18 @@ class Session:
         new._background = count
         return new
 
+    def capture(self, enabled: bool = True) -> "Session":
+        """Record an execution trace (``RunResult.trace``) for replay.
+
+        The trace feeds :class:`repro.sim.captrace.ReplayMachine`,
+        which re-prices the run under new timing parameters without
+        re-executing it.  Only valid on backends whose drive loop
+        drains the engine (``supports_capture``).
+        """
+        new = self._clone()
+        new._capture = enabled
+        return new
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -129,14 +142,27 @@ class Session:
                 "name string to build one")
         backend, config = self.resolve()
         machine = backend.build_machine(config, self._params)
+        cap = None
+        if self._capture:
+            if not backend.supports_capture:
+                raise ConfigurationError(
+                    f"system '{backend.name}' does not support trace "
+                    "capture (its drive loop does not drain the engine)")
+            cap = machine.enable_capture()
         staged = backend.stage(machine, workload, config=config,
                                policy=self._policy,
                                background=self._background)
         limit = self._limit if self._limit is not None else backend.default_limit
         cycles = backend.drive(staged, limit)
+        trace = None
+        if cap is not None:
+            from repro.sim.captrace import CapturedTrace
+            machine.engine.set_recorder(None)
+            trace = CapturedTrace.from_machine(machine, cap,
+                                               staged.process.pid)
         return RunResult(workload.name, backend.name, config, cycles,
                          machine, staged.runtime, staged.main_thread,
-                         background=self._background)
+                         background=self._background, trace=trace)
 
     def __repr__(self) -> str:
         try:

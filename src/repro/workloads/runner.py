@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.core.machine import Machine
 from repro.core.mp import config_name
@@ -38,6 +38,9 @@ from repro.shredlib.runtime import QueuePolicy, ShredRuntime
 from repro.shredlib.scheduler import gang_scheduler
 from repro.sim.trace import EventKind
 from repro.workloads.base import WorkloadSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.captrace import CapturedTrace
 
 #: default per-run cycle budget before declaring a hang
 DEFAULT_LIMIT = 2_000_000_000_000
@@ -56,6 +59,8 @@ class RunResult:
     main_thread: OSThread
     #: background single-threaded processes (multiprogramming runs)
     background: int = 0
+    #: captured execution trace (Session.capture() runs only)
+    trace: Optional["CapturedTrace"] = None
 
     # ------------------------------------------------------------------
     # Event accounting (the Table 1 view of this run)

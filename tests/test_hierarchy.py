@@ -125,6 +125,63 @@ class TestHierarchy:
         assert h.l1(0).misses == expected
         assert h.mem_accesses == expected
 
+    def test_access_range_single_line_equals_access(self):
+        a = make_hierarchy([[0]])
+        b = make_hierarchy([[0]])
+        assert a.access_range(0, 130, 4) == b.access(0, 130)
+        assert a.counters() == b.counters()
+
+    def test_access_range_matches_scalar_walk_exactly(self):
+        """The batched fast path is an exact refactor: identical
+        counters, costs, and LRU state to the line-at-a-time walk,
+        across random spans, writes, and cross-domain sharing."""
+        domains = [[0, 1], [2]]
+        geometry = dict(l1_size=4 * LINE, l1_assoc=2, l2_size=16 * LINE,
+                        l2_assoc=4)
+        batched = make_hierarchy(domains, **geometry)
+        scalar = make_hierarchy(domains, **geometry)
+        rng = random.Random(13)
+        total_b = total_s = 0
+        for _ in range(400):
+            seq = rng.randrange(3)
+            addr = rng.randrange(48 * LINE)
+            span = rng.choice([1, 4, LINE, 3 * LINE, PAGE_SIZE // 4,
+                               PAGE_SIZE])
+            write = rng.random() < 0.4
+            total_b += batched.access_range(seq, addr, span, write=write)
+            first, last = addr // LINE, (addr + max(1, span) - 1) // LINE
+            for line in range(first, last + 1):
+                total_s += scalar.access(seq, line * LINE, write=write)
+        assert total_b == total_s
+        assert batched.counters() == scalar.counters()
+        # per-cache state (including LRU order) is identical too
+        for seq in (0, 1, 2):
+            assert batched.l1(seq)._sets == scalar.l1(seq)._sets
+        for lb, ls in zip(batched.l2s, scalar.l2s):
+            assert lb._sets == ls._sets
+
+    def test_access_range_write_invalidates_sharers_per_line(self):
+        h = make_hierarchy([[0], [1]])
+        h.access_range(0, 0, PAGE_SIZE)              # seq 0 reads a page
+        h.access_range(1, 0, PAGE_SIZE, write=True)  # seq 1 writes it all
+        lines = PAGE_SIZE // LINE
+        assert h.l1(0).invalidations == lines
+        assert h.l2(1).invalidations == 0
+        assert h.counters()["l2_invalidations"] == lines
+
+    def test_access_range_deterministic(self):
+        def drive():
+            h = make_hierarchy([[0, 1]], l1_size=4 * LINE,
+                               l2_size=8 * LINE)
+            rng = random.Random(99)
+            costs = [h.access_range(rng.randrange(2),
+                                    rng.randrange(32 * LINE),
+                                    rng.choice([1, LINE, PAGE_SIZE]),
+                                    write=rng.random() < 0.5)
+                     for _ in range(300)]
+            return costs, h.counters()
+        assert drive() == drive()
+
     def test_code_segments_stable_and_disjoint(self):
         h = make_hierarchy([[0]])
         a = h.code_segment(key=1, num_words=10)
