@@ -1,0 +1,78 @@
+"""Plug a custom timing model into the registry and sweep it.
+
+The functional/timing split: the machine decides *what happens* (ISA
+semantics, ShredLib, the model kernel), the active
+``repro.timing.TimingModel`` decides *how long it takes*.  This demo
+walks the subsystem end to end:
+
+1. price one run under the built-in models -- the paper's ``fixed``
+   per-op costs vs the ``scoreboard`` in-order pipeline -- and watch
+   SIGNAL/proxy costs emerge from pipeline drain instead of constants;
+2. sweep the scoreboard's functional-unit pool: MISP's eight
+   sequencers share one processor's FUs, so its speedup over SMP is a
+   function of core width (the figure_pipeline artifact);
+3. define and register a custom model -- memory accesses priced at a
+   multiple of the hierarchy's charge -- and run it through the
+   experiment Runner purely by name: registering is all it takes to
+   make a model spec-able, grid-able, and cacheable.
+
+Run me:  PYTHONPATH=src python examples/custom_timing.py
+"""
+
+from repro.analysis import format_figure_pipeline, run_figure_pipeline
+from repro.experiments import ExperimentSpec, Runner, RunSpec
+from repro.systems import Session
+from repro.timing import TIMING_REGISTRY, FixedTiming
+
+SCALE = 0.1
+WORKLOAD = "RayTracer"
+
+
+class SlowMemoryTiming(FixedTiming):
+    """Fixed pricing with every hierarchy charge tripled (a what-if).
+
+    Subclassing ``FixedTiming`` keeps the constant base costs; only
+    the memory terms change.  Occupancy-independent models like this
+    one could declare ``supports_capture = True``, but leaving it
+    False is always safe.
+    """
+
+    name = "slow_mem"
+    supports_capture = False
+    description = "fixed costs with 3x memory-hierarchy charges"
+
+    def charge(self, seq, op, base, walks=0, access=0, fetch=0):
+        return super().charge(seq, op, base, walks,
+                              3 * access, 3 * fetch)
+
+
+def main() -> None:
+    # --- 1. one run, two built-in price tags -------------------------
+    print(f"{'timing':12s} {'cycles':>14s}")
+    for timing in ("fixed", "scoreboard"):
+        result = Session("misp", "1x8").timing(timing).run(
+            WORKLOAD, scale=SCALE)
+        print(f"{timing:12s} {result.cycles:>14,}")
+
+    # --- 2. the scoreboard's new axis: core width --------------------
+    rows = run_figure_pipeline(WORKLOAD, fu_counts=(1, 2, 8),
+                               scale=SCALE, runner=Runner(parallel=False))
+    print()
+    print(format_figure_pipeline(rows))
+
+    # --- 3. register a model, run it by name -------------------------
+    TIMING_REGISTRY.register(SlowMemoryTiming)
+    exp = ExperimentSpec.grid("slow-mem", [WORKLOAD], systems=("misp",),
+                              scale=SCALE, timing_model="slow_mem")
+    # custom models live in this process only: run the grid serially
+    result = Runner(parallel=False).run_experiment(exp)
+    slow = result[RunSpec(WORKLOAD, "misp", "1x8", scale=SCALE,
+                          timing_model="slow_mem")]
+    fixed = Session("misp", "1x8").run(WORKLOAD, scale=SCALE)
+    print(f"\n3x memory charges: {fixed.cycles:,} -> {slow.cycles:,} "
+          f"cycles ({slow.cycles / fixed.cycles:.3f}x, "
+          f"timing_model={slow.timing_model!r} in the summary)")
+
+
+if __name__ == "__main__":
+    main()

@@ -43,15 +43,21 @@ __version__ = "1.1.0"
 
 __all__ = ["ReproError", "DEFAULT_PARAMS", "PAGE_SIZE", "MachineParams",
            "Session", "SYSTEM_REGISTRY", "SystemBackend", "get_system",
-           "register_system", "__version__"]
+           "register_system", "TIMING_REGISTRY", "TimingModel",
+           "get_timing", "register_timing", "__version__"]
 
 #: names resolved lazily so ``import repro`` stays dependency-light
-_LAZY = {"Session", "SYSTEM_REGISTRY", "SystemBackend", "get_system",
-         "register_system"}
+_LAZY_SYSTEMS = {"Session", "SYSTEM_REGISTRY", "SystemBackend",
+                 "get_system", "register_system"}
+_LAZY_TIMING = {"TIMING_REGISTRY", "TimingModel", "get_timing",
+                "register_timing"}
 
 
 def __getattr__(name: str):
-    if name in _LAZY:
+    if name in _LAZY_SYSTEMS:
         import repro.systems as systems
         return getattr(systems, name)
+    if name in _LAZY_TIMING:
+        import repro.timing as timing
+        return getattr(timing, name)
     raise AttributeError(f"module 'repro' has no attribute '{name}'")

@@ -24,6 +24,10 @@ from repro.analysis.figure_mem import (
     FIGURE_MEM_COSTS, MemSensitivityRow, figure_mem_experiment,
     format_figure_mem, run_figure_mem,
 )
+from repro.analysis.figure_pipeline import (
+    FIGURE_PIPELINE_FU_COUNTS, PipelineRow, figure_pipeline_experiment,
+    format_figure_pipeline, run_figure_pipeline,
+)
 from repro.analysis.table1 import (
     PAPER_TABLE1, EventRow, format_table1, measured_row, paper_row_scaled,
     run_table1, table1_experiment,
@@ -40,7 +44,9 @@ __all__ = [
     "sensitivity_from_run", "FIGURE7_SERIES", "Figure7Result",
     "figure7_experiment", "format_figure7", "run_figure7",
     "FIGURE_MEM_COSTS", "MemSensitivityRow", "figure_mem_experiment",
-    "format_figure_mem", "run_figure_mem", "PAPER_TABLE1",
+    "format_figure_mem", "run_figure_mem", "FIGURE_PIPELINE_FU_COUNTS",
+    "PipelineRow", "figure_pipeline_experiment", "format_figure_pipeline",
+    "run_figure_pipeline", "PAPER_TABLE1",
     "EventRow", "format_table1", "measured_row", "paper_row_scaled",
     "run_table1", "table1_experiment", "PortRow", "format_table2",
     "ode_restructuring_speedup", "run_table2", "table2_experiment",

@@ -1,0 +1,139 @@
+"""Figure P: MISP-vs-SMP across functional-unit counts (scoreboard).
+
+Figure 4 compares the systems under the paper's fixed per-op cost
+model.  With the ``scoreboard`` timing model
+(:mod:`repro.timing.scoreboard`) the comparison gains a
+microarchitectural axis the paper's testbed could not vary: the width
+of the execution core.  All sequencers of one MISP processor issue
+into a *shared* pool of functional units, so MISP pays structural
+hazards that single-sequencer processors (the SMP workers, the 1P
+baseline) never see -- with one ALU and one memory unit, eight shreds
+time-slice a single execution core; with eight of each they issue
+unimpeded.
+
+The sweep therefore holds everything fixed and varies
+``sb_alu_units`` / ``sb_mem_units`` together, re-plotting the
+Figure-4-style speedups at each width.  The expected shape (asserted
+in ``tests/test_timing.py``): MISP cycles fall monotonically as units
+are added -- so the MISP speedup rises monotonically -- while the SMP
+curve stays flat, quantifying how much of the paper's MISP advantage
+assumes an execution core wide enough for its shred gang.
+
+Scoreboard runs are execution-driven only (no capture/replay), but
+they dedup, parallelize, and cache like any grid: ``timing_model`` is
+part of every spec hash, so these runs never collide with the fixed
+model's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.figure4 import DEFAULT_AMS_COUNT, _systems
+from repro.experiments import (
+    ExperimentSpec, Runner, RunSpec, default_runner,
+)
+from repro.params import DEFAULT_PARAMS, MachineParams
+
+#: functional-unit counts swept (applied to ALU and memory pools
+#: alike); 1 = one shared execution core, 8 = one unit per sequencer
+#: of the default 1x8 MISP partition
+FIGURE_PIPELINE_FU_COUNTS = (1, 2, 4, 8)
+
+#: the workload the sweep defaults to
+DEFAULT_WORKLOAD = "RayTracer"
+
+
+def _swept_params(params: MachineParams, fu_count: int) -> MachineParams:
+    return params.with_changes(sb_alu_units=fu_count,
+                               sb_mem_units=fu_count)
+
+
+@dataclass(frozen=True)
+class PipelineRow:
+    """One FU-count point: the three systems under the scoreboard."""
+
+    workload: str
+    fu_count: int
+    cycles_1p: int
+    cycles_misp: int
+    cycles_smp: int
+
+    @property
+    def misp_speedup(self) -> float:
+        return self.cycles_1p / self.cycles_misp
+
+    @property
+    def smp_speedup(self) -> float:
+        return self.cycles_1p / self.cycles_smp
+
+    @property
+    def misp_vs_smp(self) -> float:
+        """Relative MISP slowdown vs SMP (positive = MISP slower)."""
+        return self.cycles_misp / self.cycles_smp - 1.0
+
+
+def figure_pipeline_experiment(
+        workload: str = DEFAULT_WORKLOAD,
+        fu_counts: Sequence[int] = FIGURE_PIPELINE_FU_COUNTS,
+        ams_count: int = DEFAULT_AMS_COUNT,
+        params: MachineParams = DEFAULT_PARAMS,
+        scale: Optional[float] = None) -> ExperimentSpec:
+    """Declare the grid: ``fu_counts x {1p, misp, smp}``, scoreboard."""
+    runs = []
+    for fu_count in fu_counts:
+        swept = _swept_params(params, fu_count)
+        for system, config in _systems(ams_count):
+            runs.append(RunSpec(workload, system, config, scale=scale,
+                                params=swept, timing_model="scoreboard"))
+    return ExperimentSpec("figure_pipeline", tuple(runs))
+
+
+def run_figure_pipeline(workload: str = DEFAULT_WORKLOAD,
+                        fu_counts: Sequence[int] = FIGURE_PIPELINE_FU_COUNTS,
+                        ams_count: int = DEFAULT_AMS_COUNT,
+                        params: MachineParams = DEFAULT_PARAMS,
+                        scale: Optional[float] = None,
+                        runner: Optional[Runner] = None
+                        ) -> list[PipelineRow]:
+    """Execute the sweep and collect one row per FU count."""
+    runner = runner or default_runner()
+    result = runner.run_experiment(figure_pipeline_experiment(
+        workload, fu_counts, ams_count, params, scale))
+    systems = _systems(ams_count)
+    rows: list[PipelineRow] = []
+    for fu_count in fu_counts:
+        swept = _swept_params(params, fu_count)
+        per_system = {
+            system: result[RunSpec(workload, system, config, scale=scale,
+                                   params=swept,
+                                   timing_model="scoreboard")]
+            for system, config in systems
+        }
+        rows.append(PipelineRow(
+            workload, fu_count,
+            per_system["1p"].cycles,
+            per_system["misp"].cycles,
+            per_system["smp"].cycles))
+    return rows
+
+
+def format_figure_pipeline(rows: Sequence[PipelineRow]) -> str:
+    """Render the sweep as a table of speedups per core width."""
+    if not rows:
+        return "figure_pipeline: no rows"
+    header = (f"{rows[0].workload} (scoreboard): {'FUs':>4s} "
+              f"{'MISP':>6s} {'SMP':>6s} {'Δ(M/S)':>8s}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{'':{len(rows[0].workload) + 14}s} {row.fu_count:>4d} "
+            f"{row.misp_speedup:6.2f} {row.smp_speedup:6.2f} "
+            f"{row.misp_vs_smp * 100:+7.2f}%")
+    first, last = rows[0], rows[-1]
+    lines.append(
+        f"MISP speedup {first.misp_speedup:.2f} -> {last.misp_speedup:.2f} "
+        f"as shared FU pool widens {first.fu_count} -> {last.fu_count} "
+        "(single-sequencer SMP cores never contend)")
+    return "\n".join(lines)

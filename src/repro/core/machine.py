@@ -47,6 +47,8 @@ from repro.mem.pagetable import vpn_of
 from repro.params import DEFAULT_PARAMS, PAGE_SIZE, MachineParams
 from repro.sim.engine import Engine
 from repro.sim.trace import EventKind, TraceLog
+from repro.timing.base import TimingModel
+from repro.timing.fixed import FixedTiming
 
 
 class Machine:
@@ -55,7 +57,8 @@ class Machine:
     def __init__(self, ams_per_processor: Sequence[int],
                  params: MachineParams = DEFAULT_PARAMS,
                  record_fine_trace: bool = False,
-                 hierarchy: Optional[HierarchyFactory] = None) -> None:
+                 hierarchy: Optional[HierarchyFactory] = None,
+                 timing: Optional[TimingModel] = None) -> None:
         if not ams_per_processor:
             raise ConfigurationError("need at least one processor")
         if any(n < 0 for n in ams_per_processor):
@@ -66,11 +69,6 @@ class Machine:
         self.proxy_stats = ProxyStats()
         #: trace capture (repro.sim.captrace.TraceCapture), if enabled
         self._cap: Optional[Any] = None
-        # hot-path params caches (MachineParams is frozen, so these
-        # can never go stale; they keep attribute chains out of the
-        # per-instruction cost loops)
-        self._page_walk_cost = params.page_walk_cost
-        self._signal_cost = params.signal_cost
 
         # -- build sequencers and processors ------------------------------
         self.sequencers: list[Sequencer] = []
@@ -92,6 +90,30 @@ class Machine:
         self._timers_started = False
         self._stopped = False
 
+        #: the timing model pricing every op (repro.timing); the
+        #: default `fixed` model reproduces the constant per-op costs
+        self.timing: TimingModel = timing if timing is not None else FixedTiming()
+        self._bind_timing()
+
+    def _bind_timing(self) -> None:
+        self.timing.bind(self)
+        # hot-path hoists: one bound-method lookup per op, not an
+        # attribute chain (these rebind on set_timing)
+        self._charge = self.timing.charge
+        self._signal_cycles = self.timing.signal_cycles
+
+    def set_timing(self, timing: TimingModel) -> None:
+        """Swap in a timing model (before any events are scheduled).
+
+        Backend ``build_machine`` signatures stay timing-agnostic: the
+        Session attaches the resolved model here right after build.
+        """
+        if self.engine.events_executed or self.engine.pending():
+            raise SimulationError(
+                "set_timing() must run before any events are scheduled")
+        self.timing = timing
+        self._bind_timing()
+
     def _new_sequencer(self, role: SequencerRole) -> Sequencer:
         seq = Sequencer(len(self.sequencers), role, self.params.tlb_entries)
         self.sequencers.append(seq)
@@ -106,6 +128,13 @@ class Machine:
         after the run.
         """
         from repro.sim.captrace import TraceCapture
+        if not self.timing.supports_capture:
+            raise ConfigurationError(
+                f"trace capture requires a constant-cost timing model; "
+                f"the active '{self.timing.canonical_name()}' model prices "
+                "ops from pipeline occupancy, so a captured cost "
+                "decomposition would not replay -- run execution-driven, "
+                "or switch to .timing('fixed')")
         if self.engine.events_executed or self.engine.pending():
             raise SimulationError(
                 "enable_capture() must run before any events are scheduled")
@@ -244,56 +273,65 @@ class Machine:
 
     def _issue(self, seq: Sequencer, stream: InstructionStream,
                op: MachineOp) -> None:
-        """Cost an op and schedule its completion."""
+        """Decompose an op's functional cost, price it through the
+        timing model, and schedule its completion."""
         params = self.params
         cap = self._cap
         stream.sequencer = seq  # bind for commit-time translation
-        cost: int
+        base: int
+        walks = 0
+        access = 0
         action: Optional[tuple] = None
         if isinstance(op, Compute):
-            cost = op.cycles
+            base = op.cycles
         elif isinstance(op, AtomicOp):
-            cost = op.cycles or params.atomic_op_cost
+            base = op.cycles or params.atomic_op_cost
             if cap is not None and not op.cycles:
                 cap.pend_coef("atomic_op_cost")
             if op.vaddr is not None:   # a lock word in shared memory
-                cost, action = self._cost_access(seq, op.vaddr, True, cost)
+                walks, access, action = self._classify_access(
+                    seq, op.vaddr, True)
         elif isinstance(op, Touch):
-            cost, action = self._cost_access(
+            base = op.cycles
+            walks, access, action = self._classify_access(
                 seq, op.region.vpn(op.page_index) * PAGE_SIZE, op.write,
-                op.cycles, span=PAGE_SIZE)
+                span=PAGE_SIZE)
         elif isinstance(op, MemAccess):
-            cost, action = self._cost_access(seq, op.vaddr, op.write,
-                                             op.cycles)
+            base = op.cycles
+            walks, access, action = self._classify_access(
+                seq, op.vaddr, op.write)
         elif isinstance(op, SyscallOp):
-            cost, action = 0, ("syscall", op)
+            base, action = 0, ("syscall", op)
         elif isinstance(op, SignalShred):
-            cost, action = params.signal_cost, ("signal", op)
+            base, action = self._signal_cycles(seq), ("signal", op)
             if cap is not None:
                 cap.pend_coef("signal_cost")
         else:
             raise SimulationError(f"unknown machine op {op!r}")
-        fetch = stream.fetch_addr(self.hierarchy)
-        if fetch is not None:
+        fetch = 0
+        fetch_addr = stream.fetch_addr(self.hierarchy)
+        if fetch_addr is not None:
             # instruction fetch goes through the same hierarchy (a
             # fault retry refetches, like the re-executed instruction)
-            fetch_cost = self.hierarchy.access(seq.seq_id, fetch)
-            cost += fetch_cost
+            fetch = self.hierarchy.access(seq.seq_id, fetch_addr)
             if cap is not None:
-                cap.pend_access(seq.seq_id, fetch, 1, False, fetch_cost)
+                cap.pend_access(seq.seq_id, fetch_addr, 1, False, fetch)
+        cost = self._charge(seq, op, base, walks, access, fetch)
         seq.busy = True
         seq.busy_cycles += cost
         if cap is not None:
             cap.pend_busy(seq.seq_id)
         self.engine.schedule(cost, self._complete, seq, stream, op, action)
 
-    def _cost_access(self, seq: Sequencer, vaddr: int, write: bool,
-                     cycles: int, span: int = 1) -> tuple[int, Optional[tuple]]:
-        """Translate and charge one data access (TLB, caches, memory).
+    def _classify_access(self, seq: Sequencer, vaddr: int, write: bool,
+                         span: int = 1) -> tuple[int, int, Optional[tuple]]:
+        """Translate one data access; returns its functional cost
+        components ``(page_walks, hierarchy_cycles, action)``.
 
         ``span`` is the bytes the op references from ``vaddr`` (a page
         Touch streams the whole page; word accesses reference one
-        line).
+        line).  A non-resident page returns a fault action and skips
+        the hierarchy (the access re-executes after service).
         """
         process = seq.process_ref
         if process is None:
@@ -301,24 +339,23 @@ class Machine:
                 f"sequencer {seq.seq_id} touched memory with no process")
         cap = self._cap
         vpn = vpn_of(vaddr)
-        cost = cycles
+        walks = 0
         frame = seq.tlb.lookup(vpn)
         if frame is None:
-            cost += self._page_walk_cost
+            walks = 1
             if cap is not None:
                 cap.pend_coef("page_walk_cost")
             pte = process.address_space.page_table.lookup(vpn)
             if pte is None:
-                return cost, ("fault", vpn)
+                return walks, 0, ("fault", vpn)
             seq.tlb.insert(vpn, pte.frame)
             frame = pte.frame
         paddr = frame * PAGE_SIZE + vaddr % PAGE_SIZE
-        access_cost = self.hierarchy.access_range(seq.seq_id, paddr, span,
-                                                  write=write)
-        cost += access_cost
+        access = self.hierarchy.access_range(seq.seq_id, paddr, span,
+                                             write=write)
         if cap is not None:
-            cap.pend_access(seq.seq_id, paddr, span, write, access_cost)
-        return cost, None
+            cap.pend_access(seq.seq_id, paddr, span, write, access)
+        return walks, access, None
 
     def _complete(self, seq: Sequencer, stream: InstructionStream,
                   op: MachineOp, action: Optional[tuple]) -> None:
@@ -480,7 +517,7 @@ class Machine:
         def stage_service(active: list[Sequencer]) -> None:
             if effect is not None:
                 effect()
-            signal = self._signal_cost if active else 0
+            signal = self._signal_cycles(oms) if active else 0
             if self._cap is not None and active:
                 self._cap.pend_coef("signal_cost")
             self.engine.schedule(signal, stage_resume, active)
@@ -504,7 +541,8 @@ class Machine:
         n_signals = pre_signals + (1 if oms.processor.active_amss() else 0)
         if self._cap is not None and n_signals:
             self._cap.pend_coef("signal_cost", n_signals)
-        self.engine.schedule(n_signals * self._signal_cost, stage_suspend)
+        self.engine.schedule(self._signal_cycles(oms, n_signals),
+                             stage_suspend)
 
     # ------------------------------------------------------------------
     # Proxy execution (Equations 2 and 3)
@@ -530,7 +568,7 @@ class Machine:
             request.cap_id = cap.proxy_raised()      # type: ignore[attr-defined]
             cap.pend_coef("signal_cost")
         # Equation 2, first signal: notify the OMS
-        self.engine.schedule(self._signal_cost, self._proxy_arrive,
+        self.engine.schedule(self._signal_cycles(ams), self._proxy_arrive,
                              ams.processor, request)
 
     def _proxy_arrive(self, proc: MISPProcessor, request: ProxyRequest) -> None:
@@ -642,6 +680,7 @@ class Machine:
         n_save = 0
         if old is not None:
             old.context_switches += 1
+            self.timing.end_quantum(oms)
             oms.stream = None
             oms.thread = None
             oms.process_ref = None
@@ -679,6 +718,7 @@ class Machine:
         oms.stream = thread.stream
         oms.process_ref = thread.process
         oms.tlb.flush()  # new CR3
+        self.timing.begin_quantum(oms)
         if thread.is_shredded and thread.ams_save_area:
             self._thaw_team(thread, proc)
         self._advance(oms)
@@ -726,6 +766,7 @@ class Machine:
         self.kernel.scheduler.preempt(cpu, requeue=False)
         thread.state = ThreadState.BLOCKED
         thread.context_switches += 1
+        self.timing.end_quantum(oms)
         oms.stream = None
         oms.thread = None
         oms.process_ref = None

@@ -65,6 +65,11 @@ class Compute(MachineOp):
     """
 
     cycles: int
+    #: register numbers this op reads / writes (its architectural
+    #: dependences) -- consumed by hazard-tracking timing models
+    #: (repro.timing.scoreboard); empty for coarse direct-mode ops
+    reads: tuple = ()
+    writes: tuple = ()
 
     def __post_init__(self) -> None:
         if self.cycles < 0:
@@ -100,6 +105,9 @@ class MemAccess(MachineOp):
     vaddr: int
     write: bool = False
     cycles: int = 10
+    #: register dependences, as on :class:`Compute`
+    reads: tuple = ()
+    writes: tuple = ()
 
 
 @dataclass(frozen=True)

@@ -27,8 +27,9 @@ from repro.experiments.spec import RunSpec
 from repro.experiments.summary import RunSummary
 
 #: bump to invalidate every previously cached summary
-#: (2: timing-identity keys -- replay entries split from execute ones)
-CACHE_VERSION = 2
+#: (2: timing-identity keys -- replay entries split from execute ones;
+#:  3: timing_model joined the spec hash and the summary payload)
+CACHE_VERSION = 3
 
 
 class ResultCache:

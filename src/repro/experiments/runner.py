@@ -35,6 +35,7 @@ from repro.experiments.spec import ExperimentSpec, RunSpec
 from repro.experiments.summary import RunSummary
 from repro.sim.captrace import REPLAY_SAFE_FIELDS, ReplayMachine
 from repro.systems import Session, get_system
+from repro.timing import get_timing
 from repro.workloads.base import REGISTRY
 
 
@@ -52,7 +53,8 @@ def execute(spec: RunSpec) -> RunSummary:
     workload = REGISTRY.build(spec.workload, spec.scale, **dict(spec.args))
     run = (Session(backend, spec.config)
            .params(spec.params).policy(spec.policy).limit(spec.limit)
-           .background(spec.background).run(workload))
+           .background(spec.background).timing(spec.timing_model)
+           .run(workload))
     return backend.summarize(run, spec)
 
 
@@ -68,7 +70,8 @@ def execute_captured(spec: RunSpec):
     workload = REGISTRY.build(spec.workload, spec.scale, **dict(spec.args))
     run = (Session(backend, spec.config)
            .params(spec.params).policy(spec.policy).limit(spec.limit)
-           .background(spec.background).capture().run(workload))
+           .background(spec.background).timing(spec.timing_model)
+           .capture().run(workload))
     summary = backend.summarize(run, spec)
     trace = run.trace
     trace.snapshot = summary
@@ -92,9 +95,13 @@ def replay_class(spec: RunSpec) -> Optional[str]:
 
     Two specs share a class when they differ only in
     :data:`~repro.sim.captrace.REPLAY_SAFE_FIELDS` timing parameters.
-    Returns None when the spec's backend cannot capture at all.
+    Returns None when the spec's backend cannot capture at all, or
+    when its timing model prices ops from occupancy (only the
+    constant-cost ``fixed`` model records replayable decompositions).
     """
     if not get_system(spec.system).supports_capture:
+        return None
+    if not get_timing(spec.timing_model).supports_capture:
         return None
     ident = spec.to_dict()
     ident["params"] = {k: v for k, v in ident["params"].items()

@@ -35,6 +35,7 @@ from repro.errors import ConfigurationError
 from repro.params import DEFAULT_PARAMS, MachineParams
 from repro.shredlib.runtime import QueuePolicy
 from repro.systems import DEFAULT_CONFIGS, SYSTEM_REGISTRY, SYSTEMS
+from repro.timing import TIMING_REGISTRY
 from repro.workloads.runner import DEFAULT_LIMIT
 
 __all__ = [
@@ -43,7 +44,8 @@ __all__ = [
 ]
 
 #: bump to invalidate previously hashed specs after semantic changes
-SPEC_VERSION = 1
+#: (2: timing-model identity + scoreboard sb_* params joined the hash)
+SPEC_VERSION = 2
 
 
 def _canonical_args(args: Any) -> tuple[tuple[str, Any], ...]:
@@ -92,6 +94,9 @@ class RunSpec:
     limit: int = DEFAULT_LIMIT
     #: extra workload-factory kwargs, as a mapping or pair tuple
     args: Any = ()
+    #: timing model pricing the run (a TIMING_REGISTRY name); part of
+    #: the content hash, so a scoreboard run never aliases a fixed one
+    timing_model: str = "fixed"
 
     def __post_init__(self) -> None:
         s = lambda field, value: object.__setattr__(self, field, value)
@@ -100,6 +105,9 @@ class RunSpec:
                   else str(self.policy).strip().lower())
         QueuePolicy(policy)  # validate
         s("policy", policy)
+        timing = str(self.timing_model).strip().lower()
+        TIMING_REGISTRY.get(timing)  # validate against the registry
+        s("timing_model", timing)
         if self.scale is not None and self.scale <= 0:
             raise ConfigurationError(f"scale must be positive: {self.scale}")
         if self.background < 0:
@@ -135,6 +143,7 @@ class RunSpec:
             "limit": self.limit,
             "args": [list(pair) for pair in self.args],
             "params": dataclasses.asdict(self.params),
+            "timing_model": self.timing_model,
         }
 
     @classmethod
@@ -160,6 +169,8 @@ class RunSpec:
 
     def describe(self) -> str:
         extra = f"+{self.background}bg" if self.background else ""
+        if self.timing_model != "fixed":
+            extra += f"~{self.timing_model}"
         scale = f"@{self.scale:g}" if self.scale is not None else ""
         return f"{self.workload}{scale}/{self.system}:{self.config}{extra}"
 
@@ -197,7 +208,8 @@ class ExperimentSpec:
              systems: Iterable[Union[str, tuple[str, str]]] = ("1p", "misp", "smp"),
              *, scale: Optional[float] = None,
              params: MachineParams = DEFAULT_PARAMS,
-             policy: Union[str, QueuePolicy] = "fifo") -> "ExperimentSpec":
+             policy: Union[str, QueuePolicy] = "fifo",
+             timing_model: str = "fixed") -> "ExperimentSpec":
         """Cross product ``workloads x systems``.
 
         Each ``systems`` entry is a system name (run in its default
@@ -209,5 +221,6 @@ class ExperimentSpec:
                 system, config = (entry if isinstance(entry, tuple)
                                   else (entry, DEFAULT_CONFIGS[entry]))
                 runs.append(RunSpec(workload, system, config, scale=scale,
-                                    params=params, policy=policy))
+                                    params=params, policy=policy,
+                                    timing_model=timing_model))
         return cls(name, tuple(runs))

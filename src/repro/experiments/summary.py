@@ -133,6 +133,9 @@ class RunSummary:
     #: how the numbers were produced: "execute" (execution-driven) or
     #: "replay" (trace-driven re-pricing; see repro.sim.captrace)
     timing: str = "execute"
+    #: which timing model priced the run (a repro.timing registry name;
+    #: distinct from `timing`, which says execute-vs-replay)
+    timing_model: str = "fixed"
 
     # -- RunResult-compatible accessors --------------------------------
     def serializing_events(self) -> dict[str, int]:
@@ -211,6 +214,8 @@ def summarize_run(result: "RunResult",
         shreds_unjoined=result.runtime.active,
         legacy_calls_translated=(shim.calls_translated if shim else 0),
         spec_hash=spec.spec_hash() if spec else "",
+        timing_model=(spec.timing_model if spec
+                      else result.machine.timing.canonical_name()),
     )
 
 
@@ -251,4 +256,6 @@ def summarize_multiprog(result: Union["MultiprogResult", "RunResult"],
         utilization=util,
         mem=mem,
         spec_hash=spec.spec_hash() if spec else "",
+        timing_model=(spec.timing_model if spec
+                      else machine.timing.canonical_name()),
     )

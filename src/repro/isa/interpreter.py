@@ -33,6 +33,7 @@ from repro.isa.instructions import NUM_REGS, SP, Instruction, Opcode
 from repro.kernel.process import Process
 from repro.mem.pagetable import vpn_of
 from repro.params import PAGE_SIZE, MachineParams
+from repro.timing.fixed import ISA_MEM_EXTRA, ISA_MUL_EXTRA
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mem.hierarchy import MemoryHierarchy
@@ -144,25 +145,31 @@ class AsmStream(InstructionStream):
     # ------------------------------------------------------------------
     def _issue(self, instr: Instruction) -> Optional[MachineOp]:
         base = self._base_cost
+        mem_cost = base + ISA_MEM_EXTRA
         opcode = instr.opcode
         if opcode is Opcode.HALT:
             return None
         if opcode is Opcode.LD:
             return MemAccess(_wrap(self.regs[instr.rs] + instr.imm),
-                             write=False, cycles=base + 2)
+                             write=False, cycles=mem_cost,
+                             reads=(instr.rs,), writes=(instr.rd,))
         if opcode is Opcode.ST:
             return MemAccess(_wrap(self.regs[instr.rd] + instr.imm),
-                             write=True, cycles=base + 2)
+                             write=True, cycles=mem_cost,
+                             reads=(instr.rd, instr.rs))
         if opcode is Opcode.PUSH:
             return MemAccess(_wrap(self.regs[SP] - 4), write=True,
-                             cycles=base + 2)
+                             cycles=mem_cost,
+                             reads=(SP, instr.rs), writes=(SP,))
         if opcode is Opcode.POP:
-            return MemAccess(self.regs[SP], write=False, cycles=base + 2)
+            return MemAccess(self.regs[SP], write=False, cycles=mem_cost,
+                             reads=(SP,), writes=(instr.rd, SP))
         if opcode is Opcode.CALL:
             return MemAccess(_wrap(self.regs[SP] - 4), write=True,
-                             cycles=base + 2)
+                             cycles=mem_cost, reads=(SP,), writes=(SP,))
         if opcode is Opcode.RET:
-            return MemAccess(self.regs[SP], write=False, cycles=base + 2)
+            return MemAccess(self.regs[SP], write=False, cycles=mem_cost,
+                             reads=(SP,), writes=(SP,))
         if opcode is Opcode.SYS:
             return SyscallOp(instr.service)
         if opcode is Opcode.SPIN:
@@ -175,7 +182,8 @@ class AsmStream(InstructionStream):
             return SignalShred(self.regs[instr.rs], continuation,
                                label=continuation.label)
         if opcode is Opcode.MUL:
-            return Compute(base + 3)
+            return Compute(base + ISA_MUL_EXTRA,
+                           reads=(instr.rs, instr.rt), writes=(instr.rd,))
         return Compute(base)
 
     # ------------------------------------------------------------------

@@ -142,6 +142,20 @@ class MachineParams:
     #: Base cost, in cycles, of one mini-ISA instruction.
     isa_instruction_cost: int = 1
 
+    # ------------------------------------------------------------------
+    # Scoreboard pipeline (the ``scoreboard`` timing model;
+    # ignored under ``fixed``)
+    # ------------------------------------------------------------------
+    #: ALU functional units shared by all sequencers of one processor.
+    sb_alu_units: int = 2
+    #: Memory (load/store/atomic) units shared per processor.
+    sb_mem_units: int = 2
+    #: Cycles through the in-order frontend (issue + read-operands).
+    sb_frontend_depth: int = 4
+    #: Cycles to refill the pipeline after one signal-broadcast drain
+    #: (the per-signal term of the emergent SIGNAL cost).
+    sb_drain_refill: int = 8
+
     def __post_init__(self) -> None:
         for field in dataclasses.fields(self):
             value = getattr(self, field.name)
@@ -151,13 +165,28 @@ class MachineParams:
             raise ValueError("timer_quantum must be positive")
         if self.physical_frames == 0:
             raise ValueError("physical_frames must be positive")
-        for field_name in ("l1_assoc", "l2_assoc", "cache_line_size"):
+        for field_name in ("l1_assoc", "l2_assoc", "cache_line_size",
+                           "sb_alu_units", "sb_mem_units"):
             if getattr(self, field_name) == 0:
                 raise ValueError(f"{field_name} must be positive")
 
     def with_changes(self, **changes: int) -> "MachineParams":
-        """Return a copy with the given fields replaced."""
+        """Return a copy with the given fields replaced.
+
+        Unknown field names raise :class:`ValueError` -- a typo'd
+        sweep axis must fail loudly, not silently leave the default.
+        """
+        unknown = [name for name in changes if name not in _FIELD_NAMES]
+        if unknown:
+            raise ValueError(
+                f"unknown MachineParams field(s) {sorted(unknown)}; "
+                f"valid fields: {sorted(_FIELD_NAMES)}")
         return dataclasses.replace(self, **changes)
+
+
+#: All MachineParams field names, for with_changes validation.
+_FIELD_NAMES = frozenset(
+    field.name for field in dataclasses.fields(MachineParams))
 
 
 #: Shared default parameter set (signal = 5000 cycles, as in the paper).

@@ -53,6 +53,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: periods, TLB shape, frame counts, costs baked into generated
 #: Compute ops (queue/shred-switch/idle-poll/ISA costs) -- steers
 #: control flow, so sweeping it demands a fresh execution-driven run.
+#: The scoreboard pipeline knobs (``sb_*``) are likewise excluded:
+#: capture itself requires the constant-cost ``fixed`` timing model
+#: (under which they are inert), so replaying across them would
+#: silently answer a question the trace never asked.
 REPLAY_SAFE_FIELDS = frozenset({
     "signal_cost",
     "syscall_service_cost",

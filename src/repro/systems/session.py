@@ -28,6 +28,7 @@ from repro.errors import ConfigurationError
 from repro.params import DEFAULT_PARAMS, MachineParams
 from repro.shredlib.runtime import QueuePolicy
 from repro.systems.base import SystemBackend, get_system
+from repro.timing.base import TimingModel, get_timing, resolve_timing
 from repro.workloads.base import REGISTRY, WorkloadSpec
 from repro.workloads.runner import RunResult
 
@@ -45,6 +46,7 @@ class Session:
         self._limit: Optional[int] = None
         self._background = 0
         self._capture = False
+        self._timing: Union[str, TimingModel, type] = "fixed"
 
     # ------------------------------------------------------------------
     # Knobs (each returns a new Session)
@@ -93,6 +95,28 @@ class Session:
         new._background = count
         return new
 
+    def timing(self, timing: Union[str, TimingModel, type]) -> "Session":
+        """Select the timing model pricing this session's runs.
+
+        Accepts a :data:`~repro.timing.TIMING_REGISTRY` name
+        (``"fixed"``, ``"scoreboard"``), a
+        :class:`~repro.timing.TimingModel` subclass, or a prototype
+        instance (copied per run -- bound models carry run state).
+        Names are validated immediately; the model itself is
+        instantiated fresh for every :meth:`run`.
+        """
+        if isinstance(timing, str):
+            get_timing(timing)  # fail fast on unknown names
+        elif not (isinstance(timing, TimingModel)
+                  or (isinstance(timing, type)
+                      and issubclass(timing, TimingModel))):
+            raise ConfigurationError(
+                f"cannot use {timing!r} as a timing model; pass a "
+                "registry name, a TimingModel subclass, or an instance")
+        new = self._clone()
+        new._timing = timing
+        return new
+
     def capture(self, enabled: bool = True) -> "Session":
         """Record an execution trace (``RunResult.trace``) for replay.
 
@@ -125,9 +149,17 @@ class Session:
                 "processes; use a multiprogramming system")
         return backend, config
 
+    def _timing_name(self) -> str:
+        if isinstance(self._timing, str):
+            return self._timing
+        return self._timing.name
+
     def describe(self) -> str:
         backend, config = self.resolve()
         extra = f"+{self._background}bg" if self._background else ""
+        timing = self._timing_name()
+        if timing != "fixed":
+            extra += f"~{timing}"
         return f"{backend.name}:{config}{extra}"
 
     def run(self, workload: Union[str, WorkloadSpec],
@@ -142,12 +174,23 @@ class Session:
                 "name string to build one")
         backend, config = self.resolve()
         machine = backend.build_machine(config, self._params)
+        # backend build signatures stay timing-agnostic; the resolved
+        # model (a fresh instance per run) attaches here
+        timing_model = resolve_timing(self._timing)
+        machine.set_timing(timing_model)
         cap = None
         if self._capture:
             if not backend.supports_capture:
                 raise ConfigurationError(
                     f"system '{backend.name}' does not support trace "
                     "capture (its drive loop does not drain the engine)")
+            if not timing_model.supports_capture:
+                raise ConfigurationError(
+                    f"timing model '{timing_model.canonical_name()}' does "
+                    "not support trace capture: its op costs depend on "
+                    "pipeline occupancy, so a captured cost decomposition "
+                    "would not replay -- drop .capture(), or use "
+                    ".timing('fixed')")
             cap = machine.enable_capture()
         staged = backend.stage(machine, workload, config=config,
                                policy=self._policy,

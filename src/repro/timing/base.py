@@ -1,0 +1,235 @@
+"""The timing-model protocol and registry.
+
+A *timing model* is where cycles come from: how each machine operation,
+inter-sequencer signal, and pipeline event is priced.  Functional
+execution (the ISA interpreter, ShredLib, the model kernel) decides
+*what happens*; the timing model decides *how long it takes*.  The
+split mirrors the system-backend registry
+(:mod:`repro.systems.base`):
+
+* :class:`TimingModel` -- the protocol: a ``name``, ``bind`` (attach
+  to a machine and build per-sequencer/per-processor state),
+  ``charge`` (price one op from its functional cost components),
+  ``signal_cycles`` (price one inter-sequencer signal broadcast), and
+  ``begin_quantum`` / ``end_quantum`` hooks the machine invokes around
+  OS context switches;
+* :data:`TIMING_REGISTRY` -- name -> model *factory* (a
+  :class:`TimingModel` subclass), consulted by
+  :class:`~repro.experiments.spec.RunSpec` validation and
+  :meth:`~repro.systems.session.Session.timing`, so registering a
+  model is sufficient to make it spec-able, sweep-able, and cacheable
+  (the model's canonical name is part of every spec hash).
+
+Unlike system backends (stateless singletons), timing models carry
+per-run state (pipeline occupancy, register scoreboards), so the
+registry stores the *class* and a fresh instance is created per
+machine.
+
+Only models that charge constant, occupancy-independent costs may set
+:attr:`TimingModel.supports_capture`: trace capture/replay
+(:mod:`repro.sim.captrace`) re-prices recorded per-event coefficient
+sums, which is meaningless when an op's cost depends on pipeline
+state.  The built-in ``fixed`` model is the only capture-safe one.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Optional, Type, Union
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.machine import Machine
+    from repro.core.sequencer import Sequencer
+    from repro.exec.ops import MachineOp
+
+
+class TimingModel:
+    """One way of pricing a simulated machine's operations.
+
+    Subclasses set the class attributes and implement :meth:`charge`
+    (and, for occupancy-based models, :meth:`signal_cycles` and the
+    quantum hooks).  The :class:`~repro.core.machine.Machine` binds a
+    fresh instance per run and routes every cost through it.
+    """
+
+    #: registry key (``RunSpec.timing_model``)
+    name: str = ""
+    #: whether trace capture/replay (repro.sim.captrace) is valid
+    #: under this model (True only for constant per-op pricing)
+    supports_capture: bool = False
+    #: one-line description for docs and error messages
+    description: str = ""
+
+    def canonical_name(self) -> str:
+        """The normalized registry name this model prices as."""
+        return canonical_timing_name(self.name)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def bind(self, machine: "Machine") -> None:
+        """Attach to ``machine`` and build per-sequencer state.
+
+        Called once, after the machine's processors and hierarchy
+        exist and before any event executes.  Models must read every
+        :class:`~repro.params.MachineParams` field they price from
+        here (params are frozen, so hoisted values never go stale).
+        """
+        self.machine = machine
+
+    # ------------------------------------------------------------------
+    # Pricing
+    # ------------------------------------------------------------------
+    def charge(self, seq: "Sequencer", op: "MachineOp", base: int,
+               walks: int = 0, access: int = 0, fetch: int = 0) -> int:
+        """Price one machine op; returns the cycles until completion.
+
+        The machine passes the op's functional cost components:
+
+        * ``base`` -- the op's constant issue cost (``op.cycles``, or
+          the :class:`~repro.params.MachineParams` constant the fixed
+          model maps the op to);
+        * ``walks`` -- page walks performed translating its address;
+        * ``access`` -- cycles the memory hierarchy charged for its
+          data access;
+        * ``fetch`` -- cycles the hierarchy charged for its
+          instruction fetch.
+        """
+        raise NotImplementedError
+
+    def signal_cycles(self, seq: "Sequencer", count: int = 1) -> int:
+        """Price ``count`` back-to-back inter-sequencer signal
+        broadcasts issued by ``seq``'s processor (the ``signal`` term
+        of Equations 1-3)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Quantum hooks (OS scheduling boundaries)
+    # ------------------------------------------------------------------
+    def begin_quantum(self, seq: "Sequencer") -> None:
+        """``seq`` (an OMS) was just switched to a new thread."""
+
+    def end_quantum(self, seq: "Sequencer") -> None:
+        """``seq`` (an OMS) is being switched out / its team frozen.
+
+        Occupancy models flush the processor's pipeline state here: a
+        context switch drains in-flight work architecturally.
+        """
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} '{self.name}'>"
+
+
+def canonical_timing_name(name: str) -> str:
+    return str(name).strip().lower()
+
+
+class TimingRegistry:
+    """Name -> :class:`TimingModel` subclass, in registration order."""
+
+    def __init__(self) -> None:
+        self._models: dict[str, Type[TimingModel]] = {}
+
+    def register(self, model: Type[TimingModel], *,
+                 replace: bool = False) -> Type[TimingModel]:
+        """Register a model class under its :attr:`~TimingModel.name`.
+
+        Like the system registry, :meth:`RunSpec.spec_hash` encodes
+        the model's *name*, not its behavior: give behaviorally
+        different models distinct names or the on-disk cache will
+        serve stale results.
+        """
+        if not (isinstance(model, type) and issubclass(model, TimingModel)):
+            raise ConfigurationError(
+                f"timing models register as TimingModel subclasses "
+                f"(they carry per-run state), got {model!r}")
+        key = canonical_timing_name(model.name)
+        if not key:
+            raise ConfigurationError("timing model needs a name")
+        if key in self._models and not replace:
+            raise ConfigurationError(
+                f"timing model '{key}' already registered; pass "
+                "replace=True to override")
+        self._models[key] = model
+        return model
+
+    def unregister(self, name: str) -> Type[TimingModel]:
+        try:
+            return self._models.pop(canonical_timing_name(name))
+        except KeyError:
+            raise ConfigurationError(
+                f"timing model '{name}' is not registered") from None
+
+    def find(self, name: str) -> Optional[Type[TimingModel]]:
+        return self._models.get(canonical_timing_name(name))
+
+    def get(self, name: str) -> Type[TimingModel]:
+        model = self.find(name)
+        if model is None:
+            raise ConfigurationError(
+                f"unknown timing model '{name}'; registered models: "
+                f"{tuple(self._models)}")
+        return model
+
+    def create(self, name: str) -> TimingModel:
+        """A fresh (unbound) instance of the named model."""
+        return self.get(name)()
+
+    def names(self) -> list[str]:
+        return list(self._models)
+
+    def __contains__(self, name: object) -> bool:
+        return (isinstance(name, str)
+                and canonical_timing_name(name) in self._models)
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(list(self._models))
+
+    @contextmanager
+    def temporary(self, model: Type[TimingModel]):
+        """Register ``model`` for the duration of a ``with`` block."""
+        self.register(model)
+        try:
+            yield model
+        finally:
+            self.unregister(model.name)
+
+
+#: the process-wide registry, populated by :mod:`repro.timing`
+TIMING_REGISTRY = TimingRegistry()
+
+
+def register_timing(model: Type[TimingModel], *,
+                    replace: bool = False) -> Type[TimingModel]:
+    """Register a model class in the process-wide :data:`TIMING_REGISTRY`."""
+    return TIMING_REGISTRY.register(model, replace=replace)
+
+
+def get_timing(name: str) -> Type[TimingModel]:
+    """Look up a model class by name (ConfigurationError if unknown)."""
+    return TIMING_REGISTRY.get(name)
+
+
+def resolve_timing(timing: Union[str, TimingModel,
+                                 Type[TimingModel]]) -> TimingModel:
+    """Turn a name, class, or prototype instance into a fresh instance.
+
+    Names resolve through the registry; classes instantiate directly;
+    instances are used as prototypes (a per-run copy is created, since
+    bound models carry run state).
+    """
+    if isinstance(timing, str):
+        return TIMING_REGISTRY.create(timing)
+    if isinstance(timing, type) and issubclass(timing, TimingModel):
+        return timing()
+    if isinstance(timing, TimingModel):
+        import copy
+        return copy.deepcopy(timing)
+    raise ConfigurationError(
+        f"cannot resolve {timing!r} as a timing model; pass a registry "
+        "name, a TimingModel subclass, or an instance")
