@@ -1,0 +1,63 @@
+"""Measure the content-addressed store's serving hit rate.
+
+The ROADMAP's serving target: a repeated figure request should be
+(almost) free.  This script drives the Figure 4 grid through the
+:class:`repro.service.ExperimentService` twice against one store --
+a cold pass that executes everything, then a *fresh* service over the
+same directory whose memo is empty, so every run must come from disk
+-- and prints the :class:`~repro.service.StoreStats` hit-rate line CI
+surfaces alongside the timing benchmarks.
+
+Exit status is non-zero if the warm pass executed anything (a store
+regression), so the CI bench job doubles as a serving-path gate.
+
+Knobs: ``REPRO_BENCH_SCALE`` (default 0.25) scales the workloads;
+``REPRO_MAX_WORKERS`` / ``REPRO_SERIAL`` shape execution as usual.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/store_hitrate.py
+"""
+
+import os
+import tempfile
+import time
+
+from repro.analysis.figure4 import figure4_experiment
+from repro.service import ExperimentService, ResultStore
+
+#: a small-but-real slice of the Figure 4 grid
+WORKLOADS = ("dense_mvm", "gauss", "kmeans")
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+
+def serve_pass(label: str, store_dir: str) -> ExperimentService:
+    """One figure request through a fresh service over ``store_dir``."""
+    experiment = figure4_experiment(WORKLOADS, scale=BENCH_SCALE)
+    parallel = os.environ.get("REPRO_SERIAL", "") not in ("1", "true")
+    t0 = time.time()
+    with ExperimentService(store=ResultStore(store_dir),
+                           parallel=parallel) as service:
+        streamed = sum(1 for _ in service.submit(experiment).as_completed())
+    print(f"{label}: {streamed} runs streamed in {time.time() - t0:.2f}s")
+    print(f"{label}: [{service.store.stats}]")
+    print(f"{label}: [service: {service.stats}]")
+    return service
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-hitrate-") as store_dir:
+        serve_pass("cold", store_dir)
+        warm = serve_pass("warm", store_dir)
+        expected = len(WORKLOADS) * 3        # workloads x {1p, misp, smp}
+        ok = (warm.stats.executed == 0
+              and warm.store.stats.hits == expected)
+        print(f"warm-pass store hit rate: "
+              f"{warm.store.stats.hit_rate * 100:.1f}% "
+              f"({'OK' if ok else 'REGRESSION: warm pass executed runs'})")
+        return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

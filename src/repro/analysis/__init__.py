@@ -10,7 +10,7 @@ behind Figure 4, Figure 5, and Table 1) simulate exactly once.
 
 from repro.analysis.figure4 import (
     Figure4Result, SpeedupRow, figure4_experiment, format_figure4,
-    run_figure4,
+    run_figure4, run_figure4_streaming,
 )
 from repro.analysis.figure5 import (
     FIGURE5_SIGNAL_COSTS, SensitivityRow, figure5_experiment,
@@ -39,7 +39,8 @@ from repro.analysis.table2 import (
 
 __all__ = [
     "Figure4Result", "SpeedupRow", "figure4_experiment", "format_figure4",
-    "run_figure4", "FIGURE5_SIGNAL_COSTS", "SensitivityRow",
+    "run_figure4", "run_figure4_streaming",
+    "FIGURE5_SIGNAL_COSTS", "SensitivityRow",
     "figure5_experiment", "format_figure5", "run_figure5",
     "sensitivity_from_run", "FIGURE7_SERIES", "Figure7Result",
     "figure7_experiment", "format_figure7", "run_figure7",

@@ -18,13 +18,14 @@ with Table 1 / Figure 5 and executes grid members in parallel.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.core.notation import config_name
 from repro.experiments import (
     ExperimentSpec, Runner, RunSpec, RunSummary, default_runner,
 )
 from repro.params import DEFAULT_PARAMS, MachineParams
+from repro.service import ExperimentService
 from repro.workloads.base import REGISTRY
 
 #: AMS count of the paper's MISP uniprocessor prototype (1 OMS + 7 AMS)
@@ -91,19 +92,14 @@ def figure4_experiment(workload_names: Sequence[str],
                                scale=scale, params=params)
 
 
-def run_figure4(workload_names: Sequence[str],
-                ams_count: int = DEFAULT_AMS_COUNT,
-                params: MachineParams = DEFAULT_PARAMS,
-                scale: Optional[float] = None,
-                runner: Optional[Runner] = None) -> Figure4Result:
-    """Execute the Figure 4 experiment for the named workloads.
+def _assemble_figure4(result, workload_names: Sequence[str],
+                      ams_count: int, params: MachineParams,
+                      scale: Optional[float]) -> Figure4Result:
+    """Shape an experiment result into the figure's rows.
 
-    ``scale`` rebuilds each workload scaled (for fast CI runs); the
-    default uses the registered full-size specs.
-    """
-    runner = runner or default_runner()
-    result = runner.run_experiment(
-        figure4_experiment(workload_names, ams_count, params, scale))
+    ``result`` is anything indexable by :class:`RunSpec` (an
+    :class:`~repro.experiments.ExperimentResult`, however produced --
+    batch Runner or streaming service job)."""
     spec_1p, spec_misp, spec_smp = _systems(ams_count)
     rows: list[SpeedupRow] = []
     misp_summaries: dict[str, RunSummary] = {}
@@ -120,6 +116,51 @@ def run_figure4(workload_names: Sequence[str],
                                per_system["smp"].cycles))
         misp_summaries[name] = per_system["misp"]
     return Figure4Result(rows, misp_summaries)
+
+
+def run_figure4(workload_names: Sequence[str],
+                ams_count: int = DEFAULT_AMS_COUNT,
+                params: MachineParams = DEFAULT_PARAMS,
+                scale: Optional[float] = None,
+                runner: Optional[Runner] = None) -> Figure4Result:
+    """Execute the Figure 4 experiment for the named workloads.
+
+    ``scale`` rebuilds each workload scaled (for fast CI runs); the
+    default uses the registered full-size specs.
+    """
+    runner = runner or default_runner()
+    result = runner.run_experiment(
+        figure4_experiment(workload_names, ams_count, params, scale))
+    return _assemble_figure4(result, workload_names, ams_count, params,
+                             scale)
+
+
+def run_figure4_streaming(
+        service: ExperimentService,
+        workload_names: Sequence[str],
+        ams_count: int = DEFAULT_AMS_COUNT,
+        params: MachineParams = DEFAULT_PARAMS,
+        scale: Optional[float] = None,
+        progress: Optional[Callable[[int, int, RunSummary], None]] = None,
+) -> Figure4Result:
+    """Figure 4 over the streaming job API.
+
+    Submits the grid to an
+    :class:`~repro.service.ExperimentService` and consumes partial
+    summaries as runs finish -- ``progress(done, total, summary)``
+    fires per completed run, *before* the grid completes -- then
+    assembles the same :class:`Figure4Result` the batch path builds.
+    Concurrent submissions of overlapping grids (another client asking
+    for the same baselines) share executions through the service's
+    in-flight table.
+    """
+    job = service.submit(
+        figure4_experiment(workload_names, ams_count, params, scale))
+    for done, summary in enumerate(job.as_completed(), start=1):
+        if progress is not None:
+            progress(done, job.expected, summary)
+    return _assemble_figure4(job.result(), workload_names, ams_count,
+                             params, scale)
 
 
 def format_figure4(result: Figure4Result) -> str:

@@ -16,7 +16,9 @@ import sys
 import time
 from typing import Optional, Sequence
 
-from repro.analysis.figure4 import format_figure4, run_figure4
+from repro.analysis.figure4 import (
+    format_figure4, run_figure4, run_figure4_streaming,
+)
 from repro.analysis.figure5 import format_figure5, run_figure5
 from repro.analysis.figure7 import format_figure7, run_figure7
 from repro.analysis.figure_mem import format_figure_mem, run_figure_mem
@@ -26,6 +28,7 @@ from repro.analysis.table2 import (
 )
 from repro.core.notation import FIGURE6_CONFIGS, config_name, parse_config
 from repro.experiments import Runner, default_runner
+from repro.service import ExperimentService, store_from_env
 from repro.systems import SYSTEM_REGISTRY
 
 
@@ -44,7 +47,15 @@ def full_report(workloads: Optional[Sequence[str]] = None,
                 scale: Optional[float] = None,
                 rt_scale: float = 0.15,
                 runner: Optional[Runner] = None,
+                service: Optional[ExperimentService] = None,
                 stream=sys.stdout) -> None:
+    """Regenerate every artifact.
+
+    With ``service`` the Figure 4 grid flows through the streaming job
+    API -- partial results print as runs finish -- and the report ends
+    with the content-addressed store's hit-rate line.  ``runner`` and
+    ``service`` should share one store so artifacts warm each other.
+    """
     from repro.workloads import FIGURE4_ORDER
     names = list(workloads or FIGURE4_ORDER)
     runner = runner or default_runner()
@@ -62,7 +73,15 @@ def full_report(workloads: Optional[Sequence[str]] = None,
     emit("=" * 70)
 
     emit("\n--- Figure 4: speedup vs 1P (MISP 1x8 vs SMP 8-way) ---")
-    fig4 = run_figure4(names, scale=scale, runner=runner)
+    if service is not None:
+        def progress(done: int, total: int, summary) -> None:
+            emit(f"  [{done}/{total}] {summary.workload}/{summary.system}:"
+                 f"{summary.config} -> {summary.cycles:,} cycles")
+
+        fig4 = run_figure4_streaming(service, names, scale=scale,
+                                     progress=progress)
+    else:
+        fig4 = run_figure4(names, scale=scale, runner=runner)
     emit(format_figure4(fig4))
 
     emit("\n--- Table 1: serializing events (MISP 1x8) ---")
@@ -95,6 +114,13 @@ def full_report(workloads: Optional[Sequence[str]] = None,
 
     emit(f"\n[report completed in {time.time() - t0:.1f}s; "
          f"runs: {runner.stats}]")
+    if service is not None:
+        emit(f"[service: {service.stats}]")
+    store = service.store if service is not None else runner.store
+    if store is not None:
+        # the ROADMAP's serving target: a figure request should be
+        # almost entirely store hits -- report the measured rate
+        emit(f"[{store.stats}]")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -114,10 +140,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--replay", action="store_true",
                         help="capture once per sweep and replay the "
                              "timing-only points (trace-driven fast path)")
+    parser.add_argument("--stream", action="store_true",
+                        help="serve Figure 4 through the ExperimentService "
+                             "job API (partial results stream as runs "
+                             "finish; prints the store hit-rate line)")
     args = parser.parse_args(argv)
-    runner = Runner(cache_dir=args.cache_dir, max_workers=args.jobs,
+    service = None
+    store = None
+    if args.stream:
+        import tempfile
+        store_dir = args.cache_dir or tempfile.mkdtemp(prefix="repro-store-")
+        store = store_from_env(store_dir)
+        service = ExperimentService(store=store, max_workers=args.jobs,
+                                    parallel=not args.serial,
+                                    replay=args.replay)
+    runner = Runner(cache_dir=None if store else args.cache_dir,
+                    store=store, max_workers=args.jobs,
                     parallel=not args.serial, replay=args.replay)
-    full_report(args.workloads, args.scale, args.rt_scale, runner=runner)
+    full_report(args.workloads, args.scale, args.rt_scale, runner=runner,
+                service=service)
+    if service is not None:
+        service.close()
     return 0
 
 

@@ -27,6 +27,26 @@ class DeadlockError(SimulationError):
     """No sequencer can make progress and unfinished work remains."""
 
 
+class ExperimentExecutionError(SimulationError):
+    """One or more runs of an experiment batch failed.
+
+    Completed runs in the batch are kept (memoized and stored) before
+    this is raised, so a retry only re-runs the failures.
+    ``failures`` holds every ``(spec, exception)`` pair -- nothing is
+    swallowed behind the first error -- and the message names every
+    failed spec.
+    """
+
+    def __init__(self, failures) -> None:
+        self.failures = list(failures)
+        detail = "; ".join(
+            f"{spec.describe()}: {type(exc).__name__}: {exc}"
+            for spec, exc in self.failures)
+        count = len(self.failures)
+        super().__init__(
+            f"{count} run{'s' if count != 1 else ''} failed -- {detail}")
+
+
 class MemoryError_(ReproError):
     """Physical or virtual memory subsystem misuse (e.g. out of frames)."""
 

@@ -1,100 +1,34 @@
-"""On-disk memoization of completed runs, keyed by spec hash.
+"""Backwards-compatible alias of the content-addressed result store.
 
-One JSON file per unique :class:`~repro.experiments.spec.RunSpec`,
-named ``<spec_hash>.json`` and containing both the canonical spec (for
-audit and invalidation) and the :class:`RunSummary`.  Writes are
-atomic (temp file + ``os.replace``) so concurrent writers -- parallel
-Runner workers, or two simultaneous invocations sharing a cache
-directory -- can only ever race to write identical content.
+The on-disk memoization layer moved to
+:class:`repro.service.store.ResultStore`, which grew the original
+spec-hash cache into a proper content-addressed store (versioning,
+LRU/size-bounded eviction, corruption quarantine, temp-file
+reclamation, hit/miss metrics).  :class:`ResultCache` remains as the
+historical name: an unbounded ``ResultStore`` with the exact same
+``path_for`` / ``get`` / ``put`` / ``clear`` surface, so existing
+callers and cache directories keep working unchanged.
 
-Timing identity is part of the key: an execution-driven summary lives
-in ``<spec_hash>.json``, a trace-driven replay summary (see
-:mod:`repro.sim.captrace`) in ``<spec_hash>.replay.json``, and each
-entry also records its ``timing`` in the payload.  A replay summary
-can therefore never alias -- or be served in place of -- the
-execution-driven numbers for the same spec.
+Layout (unchanged): one JSON file per unique
+:class:`~repro.experiments.spec.RunSpec`, named ``<spec_hash>.json``
+(replay summaries under ``<spec_hash>.replay.json``), written
+atomically so concurrent writers can only race to write identical
+content.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import tempfile
-from pathlib import Path
-from typing import Optional, Union
+from repro.service.store import STORE_VERSION, ResultStore
 
-from repro.experiments.spec import RunSpec
-from repro.experiments.summary import RunSummary
-
-#: bump to invalidate every previously cached summary
-#: (2: timing-identity keys -- replay entries split from execute ones;
-#:  3: timing_model joined the spec hash and the summary payload)
-CACHE_VERSION = 3
+#: bump to invalidate every previously cached summary (the store's
+#: version; kept under its historical name for existing importers)
+CACHE_VERSION = STORE_VERSION
 
 
-class ResultCache:
-    """A directory of ``<spec_hash>[.replay].json`` run summaries."""
+class ResultCache(ResultStore):
+    """A directory of ``<spec_hash>[.replay].json`` run summaries.
 
-    def __init__(self, root: Union[str, Path]) -> None:
-        self.root = Path(root).expanduser()
-        self.root.mkdir(parents=True, exist_ok=True)
-
-    def path_for(self, spec: RunSpec, timing: str = "execute") -> Path:
-        suffix = ".json" if timing == "execute" else f".{timing}.json"
-        return self.root / f"{spec.spec_hash()}{suffix}"
-
-    def get(self, spec: RunSpec,
-            timing: str = "execute") -> Optional[RunSummary]:
-        """The cached summary for ``spec``, or None on miss/corruption."""
-        path = self.path_for(spec, timing)
-        try:
-            with path.open("r", encoding="utf-8") as fh:
-                payload = json.load(fh)
-            if payload.get("cache_version") != CACHE_VERSION:
-                return None
-            if payload.get("spec_hash") != spec.spec_hash():
-                return None
-            if payload.get("timing", "execute") != timing:
-                return None
-            summary = RunSummary.from_dict(payload["summary"])
-            if summary.timing != timing:
-                return None
-            return summary
-        except FileNotFoundError:
-            return None
-        except (OSError, ValueError, KeyError, TypeError):
-            # unreadable or stale-format entry: treat as a miss
-            return None
-
-    def put(self, spec: RunSpec, summary: RunSummary) -> Path:
-        path = self.path_for(spec, summary.timing)
-        payload = {
-            "cache_version": CACHE_VERSION,
-            "spec_hash": spec.spec_hash(),
-            "timing": summary.timing,
-            "spec": spec.to_dict(),
-            "summary": summary.to_dict(),
-        }
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, sort_keys=True, indent=1)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        return path
-
-    def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*.json"))
-
-    def clear(self) -> int:
-        """Delete every cached entry; returns the number removed."""
-        removed = 0
-        for path in self.root.glob("*.json"):
-            path.unlink(missing_ok=True)
-            removed += 1
-        return removed
+    Identical to an unbounded :class:`ResultStore`; see
+    :mod:`repro.service.store` for the full feature set (sweep,
+    eviction bounds, :class:`~repro.service.store.StoreStats`).
+    """

@@ -1,112 +1,50 @@
-"""Execute experiment grids: dedup, parallelism, and memoization.
+"""Execute experiment grids: the batch facade over ``repro.service``.
 
 The :class:`Runner` takes :class:`~repro.experiments.spec.RunSpec`
 grids and returns :class:`~repro.experiments.summary.RunSummary`
 values, guaranteeing that each *unique* simulation executes exactly
 once per process (in-memory memo), at most once per machine when an
-on-disk cache directory is configured, and that independent runs
+on-disk store directory is configured, and that independent runs
 execute concurrently in worker processes.
 
-:func:`execute` is the single entry point that maps a spec to a
-finished summary; it is a module-level function so
-``ProcessPoolExecutor`` can ship it to workers.
+Since the layered refactor the Runner owns no mechanism of its own:
+it composes the :mod:`repro.service` layers into a resolver chain ::
 
-With ``replay=True`` (or ``REPRO_REPLAY=1``) the Runner additionally
+    memo  ->  store  ->  executor
+    (MemoLayer) (ResultStore     (BatchExecutor driven by a
+                 via StoreLayer)  Direct/ReplayPlanner)
+
+and maps the chain's outcome onto its historical :class:`RunnerStats`.
+The concurrent, streaming face of the same layers is
+:class:`repro.service.ExperimentService`.
+
+With ``replay=True`` (or ``REPRO_REPLAY=1``) the planner additionally
 exploits the trace-driven fast path (:mod:`repro.sim.captrace`): specs
 that differ only in replay-safe timing parameters form a *replay
 class*, and each class runs as one execution-driven capture plus cheap
 trace replays -- a figure's ``mem_cost``/``signal_cost`` sweep
 simulates once instead of once per point.  Replay summaries carry
-``timing="replay"`` and are cached under a distinct key, so they never
+``timing="replay"`` and are stored under a distinct key, so they never
 alias execution-driven numbers.
 """
 
 from __future__ import annotations
 
-import json
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence, Union
 
-import repro.workloads  # noqa: F401  -- populates the workload registry
-from repro.experiments.cache import ResultCache
+from repro.errors import ExperimentExecutionError
 from repro.experiments.spec import ExperimentSpec, RunSpec
 from repro.experiments.summary import RunSummary
-from repro.sim.captrace import REPLAY_SAFE_FIELDS, ReplayMachine
-from repro.systems import Session, get_system
-from repro.timing import get_timing
-from repro.workloads.base import REGISTRY
-
-
-def execute(spec: RunSpec) -> RunSummary:
-    """Run one spec to completion and return its plain-data summary.
-
-    Deterministic: the simulation is a pure function of the spec, so
-    equal specs produce equal summaries in any process.  The system is
-    resolved purely through :data:`repro.systems.SYSTEM_REGISTRY`, so
-    any registered backend -- built-in or custom -- executes the same
-    way.  (Backends registered at runtime exist only in the
-    registering process; run them through a serial Runner.)
-    """
-    backend = get_system(spec.system)
-    workload = REGISTRY.build(spec.workload, spec.scale, **dict(spec.args))
-    run = (Session(backend, spec.config)
-           .params(spec.params).policy(spec.policy).limit(spec.limit)
-           .background(spec.background).timing(spec.timing_model)
-           .run(workload))
-    return backend.summarize(run, spec)
-
-
-def execute_captured(spec: RunSpec):
-    """Run one spec execution-driven with trace capture.
-
-    Returns ``(summary, trace)`` where ``trace`` is a
-    :class:`~repro.sim.captrace.CapturedTrace` with the summary
-    attached as its snapshot (everything picklable, so workers can
-    ship it back).
-    """
-    backend = get_system(spec.system)
-    workload = REGISTRY.build(spec.workload, spec.scale, **dict(spec.args))
-    run = (Session(backend, spec.config)
-           .params(spec.params).policy(spec.policy).limit(spec.limit)
-           .background(spec.background).timing(spec.timing_model)
-           .capture().run(workload))
-    summary = backend.summarize(run, spec)
-    trace = run.trace
-    trace.snapshot = summary
-    return summary, trace
-
-
-def execute_replay_group(specs: Sequence[RunSpec]) -> list[RunSummary]:
-    """Run one replay class: capture ``specs[0]``, replay the rest.
-
-    Returns summaries in input order; the first is execution-driven
-    (``timing="execute"``), the rest trace-driven re-pricings of it
-    (``timing="replay"``).
-    """
-    summary, trace = execute_captured(specs[0])
-    replayer = ReplayMachine(trace)
-    return [summary] + [replayer.run(spec=spec) for spec in specs[1:]]
-
-
-def replay_class(spec: RunSpec) -> Optional[str]:
-    """Grouping key for specs replayable from one shared capture.
-
-    Two specs share a class when they differ only in
-    :data:`~repro.sim.captrace.REPLAY_SAFE_FIELDS` timing parameters.
-    Returns None when the spec's backend cannot capture at all, or
-    when its timing model prices ops from occupancy (only the
-    constant-cost ``fixed`` model records replayable decompositions).
-    """
-    if not get_system(spec.system).supports_capture:
-        return None
-    if not get_timing(spec.timing_model).supports_capture:
-        return None
-    ident = spec.to_dict()
-    ident["params"] = {k: v for k, v in ident["params"].items()
-                      if k not in REPLAY_SAFE_FIELDS}
-    return json.dumps(ident, sort_keys=True)
+# execution entry points live in the service layer now; re-exported
+# here for backwards compatibility (and for pool workers)
+from repro.service.executor import (        # noqa: F401
+    BatchExecutor, execute, execute_captured, execute_replay_group,
+)
+from repro.service.planner import planner_for, replay_class  # noqa: F401
+from repro.service.resolver import MemoLayer, ResolverChain, StoreLayer
+from repro.service.store import ResultStore, store_from_env
 
 
 @dataclass
@@ -114,22 +52,29 @@ class RunnerStats:
     """Where each requested run came from."""
 
     requested: int = 0
-    #: simulations actually executed (execution-driven; captures included)
+    #: execution-driven simulations (each replay class executes exactly
+    #: one capture; its trace-driven members count in ``replayed``, so
+    #: ``executed + replayed`` is the number of summaries produced)
     executed: int = 0
     #: duplicate grid members folded onto a shared run
     deduplicated: int = 0
     #: served from this Runner's in-memory memo
     memo_hits: int = 0
-    #: served from the on-disk cache
+    #: served from the on-disk store
     cache_hits: int = 0
     #: executed runs that also recorded a replayable trace
     captured: int = 0
     #: summaries produced by trace replay instead of execution
     replayed: int = 0
+    #: specs whose simulation raised (a failed replay class counts
+    #: every member; see :class:`~repro.errors.ExperimentExecutionError`)
+    failed: int = 0
 
     def __str__(self) -> str:
         extra = (f" ({self.captured} captured, {self.replayed} replayed)"
                  if self.captured or self.replayed else "")
+        if self.failed:
+            extra += f" [{self.failed} failed]"
         return (f"{self.requested} requested = "
                 f"{self.executed + self.replayed} executed "
                 f"+ {self.deduplicated} deduplicated "
@@ -178,8 +123,10 @@ class Runner:
     """Deduplicating, caching, parallel experiment executor.
 
     * duplicate specs within and across calls run once (in-memory memo);
-    * with ``cache_dir``, completed runs persist on disk keyed by spec
-      hash, so re-invocations (new processes) are served from cache;
+    * with ``cache_dir`` (or an explicit ``store``), completed runs
+      persist on disk keyed by spec hash in a content-addressed
+      :class:`~repro.service.store.ResultStore`, so re-invocations
+      (new processes) are served from the store;
     * independent specs execute in parallel worker processes via
       :class:`concurrent.futures.ProcessPoolExecutor` (``parallel=False``
       or ``max_workers=1`` forces in-process serial execution);
@@ -187,18 +134,39 @@ class Runner:
       parameters share one execution-driven capture and replay the
       rest through :class:`~repro.sim.captrace.ReplayMachine`
       (replayed summaries carry ``timing="replay"``).
+
+    The pool is deliberately per-batch: batches run for seconds to
+    minutes, so spawn cost is noise, and a long-lived Runner (the
+    process-wide default) never holds idle worker processes between
+    experiments.  A failing simulation neither discards the rest of
+    its batch (completed runs are memoized and stored first) nor
+    shadows other failures: one
+    :class:`~repro.errors.ExperimentExecutionError` names every failed
+    spec, so a retry only re-runs what failed.
     """
 
     def __init__(self, cache_dir: Optional[Union[str, os.PathLike]] = None,
                  max_workers: Optional[int] = None,
                  parallel: bool = True,
-                 replay: bool = False) -> None:
-        self.cache = ResultCache(cache_dir) if cache_dir else None
+                 replay: bool = False,
+                 store: Optional[ResultStore] = None) -> None:
+        if store is None and cache_dir:
+            store = ResultStore(cache_dir)
+        #: the on-disk layer (``cache`` is the historical alias)
+        self.store = self.cache = store
         self.max_workers = max_workers or os.cpu_count() or 1
         self.parallel = parallel and self.max_workers > 1
         self.replay = replay
         self.stats = RunnerStats()
-        self._memo: dict[str, RunSummary] = {}
+        self._memo = MemoLayer()
+        self._executor = BatchExecutor(planner_for(replay),
+                                       max_workers=self.max_workers,
+                                       parallel=self.parallel)
+        layers = [self._memo]
+        if store is not None:
+            layers.append(StoreLayer(store, replay=replay))
+        layers.append(self._executor)
+        self._chain = ResolverChain(layers)
 
     # ------------------------------------------------------------------
     # Public API
@@ -210,8 +178,8 @@ class Runner:
     def run_many(self, specs: Iterable[RunSpec]) -> list[RunSummary]:
         """Run a grid; returns summaries in input order.
 
-        Each unique simulation is resolved once -- memo, then disk
-        cache, then execution -- and duplicates share the result.
+        Each unique simulation is resolved once -- memo, then store,
+        then execution -- and duplicates share the result.
         """
         specs = list(specs)
         self.stats.requested += len(specs)
@@ -220,114 +188,24 @@ class Runner:
             unique.setdefault(spec.spec_hash(), spec)
         self.stats.deduplicated += len(specs) - len(unique)
 
-        to_run: list[RunSpec] = []
-        for key, spec in unique.items():
-            if key in self._memo:
-                self.stats.memo_hits += 1
-                continue
-            if self.cache is not None:
-                # execution-driven entries are exact, so they satisfy
-                # either mode; a replay entry only satisfies replay mode
-                hit = self.cache.get(spec)
-                if hit is None and self.replay:
-                    hit = self.cache.get(spec, timing="replay")
-                if hit is not None:
-                    self._memo[key] = hit
-                    self.stats.cache_hits += 1
-                    continue
-            to_run.append(spec)
-        self._execute_batch(to_run)
-        return [self._memo[spec.spec_hash()] for spec in specs]
+        outcome = self._chain.resolve(list(unique.values()))
+        self.stats.memo_hits += outcome.hits_by_layer.get("memo", 0)
+        self.stats.cache_hits += outcome.hits_by_layer.get("store", 0)
+        executed = self._executor.last
+        self.stats.executed += executed.executed
+        self.stats.captured += executed.captured
+        self.stats.replayed += executed.replayed
+        self.stats.failed += executed.failed
+        if outcome.failures:
+            raise ExperimentExecutionError(outcome.failures)
+        return [outcome.summaries[spec.spec_hash()] for spec in specs]
 
     def run_experiment(self, experiment: ExperimentSpec) -> ExperimentResult:
         """Run every member of an experiment grid."""
         self.run_many(experiment.runs)
-        by_hash = {spec.spec_hash(): self._memo[spec.spec_hash()]
+        by_hash = {spec.spec_hash(): self._memo.get(spec.spec_hash())
                    for spec in experiment.runs}
         return ExperimentResult(experiment, by_hash)
-
-    # ------------------------------------------------------------------
-    # Execution
-    # ------------------------------------------------------------------
-    def _execute_batch(self, specs: Sequence[RunSpec]) -> None:
-        """Execute specs, storing each finished summary as it lands.
-
-        One failing simulation does not discard the rest of the batch:
-        completed runs are memoized (and cached) before the first
-        failure re-raises, so a retry only re-runs what failed.
-
-        The pool is deliberately per-batch: batches run for seconds to
-        minutes, so spawn cost is noise, and a long-lived Runner (the
-        process-wide default) never holds idle worker processes
-        between experiments.
-        """
-        if not specs:
-            return
-        tasks = self._plan_tasks(specs)
-        failure: Optional[BaseException] = None
-        if self.parallel and len(tasks) > 1:
-            workers = min(self.max_workers, len(tasks))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {}
-                for group in tasks:
-                    if len(group) == 1:
-                        futures[pool.submit(execute, group[0])] = group
-                    else:
-                        futures[pool.submit(execute_replay_group,
-                                            group)] = group
-                for future in as_completed(futures):
-                    group = futures[future]
-                    try:
-                        result = future.result()
-                    except Exception as exc:
-                        failure = failure or exc
-                        continue
-                    self._store_group(group, result if len(group) > 1
-                                      else [result])
-        else:
-            for group in tasks:
-                try:
-                    result = (execute_replay_group(group)
-                              if len(group) > 1 else [execute(group[0])])
-                except Exception as exc:
-                    failure = failure or exc
-                    continue
-                self._store_group(group, result)
-        if failure is not None:
-            raise failure
-
-    def _plan_tasks(self, specs: Sequence[RunSpec]) -> list[list[RunSpec]]:
-        """Partition specs into pool tasks.
-
-        Without replay, every spec is its own task.  With replay,
-        specs in the same replay class become one multi-spec task
-        (capture the first, replay the rest); classes of one -- and
-        specs whose backend cannot capture -- stay singleton
-        execution-driven tasks.
-        """
-        if not self.replay:
-            return [[spec] for spec in specs]
-        groups: dict[Optional[str], list[RunSpec]] = {}
-        tasks: list[list[RunSpec]] = []
-        for spec in specs:
-            key = replay_class(spec)
-            if key is None:
-                tasks.append([spec])
-            else:
-                groups.setdefault(key, []).append(spec)
-        tasks.extend(groups.values())
-        return tasks
-
-    def _store_group(self, group: Sequence[RunSpec],
-                     summaries: Sequence[RunSummary]) -> None:
-        for spec, summary in zip(group, summaries):
-            self._memo[spec.spec_hash()] = summary
-            if self.cache is not None:
-                self.cache.put(spec, summary)
-        self.stats.executed += 1      # group[0] always executes
-        if len(group) > 1:
-            self.stats.captured += 1
-            self.stats.replayed += len(group) - 1
 
 
 # ----------------------------------------------------------------------
@@ -338,13 +216,15 @@ _default_runner: Optional[Runner] = None
 
 def runner_from_env() -> Runner:
     """A Runner configured from the documented environment knobs:
-    ``REPRO_CACHE_DIR`` enables the on-disk cache, ``REPRO_MAX_WORKERS``
-    bounds parallelism, ``REPRO_SERIAL=1`` forces serial in-process
-    execution, ``REPRO_REPLAY=1`` enables the capture-once/replay-rest
-    fast path for timing-only sweeps."""
+    ``REPRO_CACHE_DIR`` enables the on-disk store
+    (``REPRO_STORE_MAX_ENTRIES`` / ``REPRO_STORE_MAX_BYTES`` bound it),
+    ``REPRO_MAX_WORKERS`` bounds parallelism, ``REPRO_SERIAL=1`` forces
+    serial in-process execution, ``REPRO_REPLAY=1`` enables the
+    capture-once/replay-rest fast path for timing-only sweeps."""
     max_workers = os.environ.get("REPRO_MAX_WORKERS")
+    cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
     return Runner(
-        cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
+        store=store_from_env(cache_dir) if cache_dir else None,
         max_workers=int(max_workers) if max_workers else None,
         parallel=os.environ.get("REPRO_SERIAL", "") not in ("1", "true"),
         replay=os.environ.get("REPRO_REPLAY", "") in ("1", "true"),

@@ -1,0 +1,87 @@
+"""Execution planning: how a batch of specs becomes pool tasks.
+
+Planning is *policy*; running tasks is *mechanism*.  Keeping the two
+apart is what lets the executor layer stay dumb: a planner partitions
+unique specs into task groups, and the executor runs each group
+without knowing (or caring) why the groups look the way they do.
+
+* :class:`DirectPlanner` -- every spec is its own singleton task
+  (execution-driven, maximally parallel);
+* :class:`ReplayPlanner` -- specs differing only in replay-safe timing
+  parameters (see :data:`repro.sim.captrace.REPLAY_SAFE_FIELDS`) form
+  one *replay class* per group: the first member executes with trace
+  capture, the rest are cheap trace replays.  Specs whose backend or
+  timing model cannot capture stay singleton execution-driven tasks.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Optional, Protocol, Sequence
+
+from repro.sim.captrace import REPLAY_SAFE_FIELDS
+from repro.systems import get_system
+from repro.timing import get_timing
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.spec import RunSpec
+
+
+def replay_class(spec: "RunSpec") -> Optional[str]:
+    """Grouping key for specs replayable from one shared capture.
+
+    Two specs share a class when they differ only in
+    :data:`~repro.sim.captrace.REPLAY_SAFE_FIELDS` timing parameters.
+    Returns None when the spec's backend cannot capture at all, or
+    when its timing model prices ops from occupancy (only the
+    constant-cost ``fixed`` model records replayable decompositions).
+    """
+    if not get_system(spec.system).supports_capture:
+        return None
+    if not get_timing(spec.timing_model).supports_capture:
+        return None
+    ident = spec.to_dict()
+    ident["params"] = {k: v for k, v in ident["params"].items()
+                      if k not in REPLAY_SAFE_FIELDS}
+    return json.dumps(ident, sort_keys=True)
+
+
+class ExecutionPlanner(Protocol):
+    """Partitions a batch of unique specs into executor task groups."""
+
+    def plan(self, specs: Sequence["RunSpec"]) -> list[list["RunSpec"]]:
+        ...
+
+
+class DirectPlanner:
+    """Every spec is one execution-driven task."""
+
+    def plan(self, specs: Sequence["RunSpec"]) -> list[list["RunSpec"]]:
+        return [[spec] for spec in specs]
+
+
+class ReplayPlanner:
+    """Group replay-compatible specs onto one shared capture.
+
+    Specs in the same replay class become one multi-spec task (capture
+    the first, replay the rest); classes of one -- and specs whose
+    backend or timing model cannot capture -- stay singleton
+    execution-driven tasks.
+    """
+
+    def plan(self, specs: Sequence["RunSpec"]) -> list[list["RunSpec"]]:
+        groups: dict[str, list["RunSpec"]] = {}
+        tasks: list[list["RunSpec"]] = []
+        for spec in specs:
+            key = replay_class(spec)
+            if key is None:
+                tasks.append([spec])
+            else:
+                groups.setdefault(key, []).append(spec)
+        tasks.extend(groups.values())
+        return tasks
+
+
+def planner_for(replay: bool) -> ExecutionPlanner:
+    """The planner matching a runner/service's replay mode."""
+    return ReplayPlanner() if replay else DirectPlanner()

@@ -1,0 +1,378 @@
+"""The experiment service: a job API over the layered resolvers.
+
+:class:`ExperimentService` is the serving-system face of the
+experiment layer.  Many concurrent clients ``submit()`` experiment
+grids and get back :class:`JobHandle`\\ s; each job resolves through
+the shared layers -- in-process memo, content-addressed
+:class:`~repro.service.store.ResultStore`, cross-request
+:class:`~repro.service.inflight.InflightTable`, and one shared
+execution backend -- so
+
+* a figure request repeated by N clients costs one execution;
+* two different grids sharing a baseline run share its simulation
+  even while both are still in flight;
+* finished runs stream back through
+  :meth:`JobHandle.as_completed` *as they finish*, not when the whole
+  grid does.
+
+Resolution order per job::
+
+    memo  ->  store  ->  inflight table  ->  executor
+    (hits)    (hits)     (join a run        (claim + run,
+                          already in         resolve joiners)
+                          the air)
+
+Everything an executed run produces is backfilled upward (store and
+memo), so the next request short-circuits as early as possible.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass
+from functools import partial
+from typing import (
+    TYPE_CHECKING, Callable, Iterable, Optional, Sequence, Union,
+)
+
+from repro.service.executor import ExecutionBackend
+from repro.service.inflight import InflightTable
+from repro.service.planner import planner_for
+from repro.service.resolver import MemoLayer, StoreLayer
+from repro.service.store import ResultStore, StoreStats, store_from_env
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.runner import ExperimentResult
+    from repro.experiments.spec import ExperimentSpec, RunSpec
+    from repro.experiments.summary import RunSummary
+
+
+@dataclass
+class ServiceStats:
+    """Where the service's runs came from, across all jobs."""
+
+    requested: int = 0
+    #: duplicate members within submitted grids
+    deduplicated: int = 0
+    memo_hits: int = 0
+    store_hits: int = 0
+    #: specs folded onto an execution another job already had in flight
+    inflight_joined: int = 0
+    #: execution-driven simulations (replay-group captures included)
+    executed: int = 0
+    captured: int = 0
+    replayed: int = 0
+    failed: int = 0
+    jobs: int = 0
+
+    def __str__(self) -> str:
+        return (f"{self.jobs} jobs / {self.requested} requested = "
+                f"{self.executed + self.replayed} executed "
+                f"+ {self.deduplicated} deduplicated "
+                f"+ {self.memo_hits} memoized + {self.store_hits} stored "
+                f"+ {self.inflight_joined} joined in-flight"
+                + (f" ({self.failed} failed)" if self.failed else ""))
+
+
+class JobHandle:
+    """A submitted experiment: stream it, or wait for the result.
+
+    One summary is delivered per *unique* spec in the grid; duplicate
+    members share their delivery (and the final
+    :class:`~repro.experiments.runner.ExperimentResult` resolves them
+    all).  :meth:`as_completed` is a single-consumer stream; it may be
+    combined freely with a final :meth:`result` call.
+    """
+
+    def __init__(self, experiment: "ExperimentSpec",
+                 expected: int) -> None:
+        self.experiment = experiment
+        self.expected = expected
+        self._queue: "queue.Queue" = queue.Queue()
+        self._consumed = 0
+        self._lock = threading.Lock()
+        self._delivered = 0
+        self._results: dict[str, "RunSummary"] = {}
+        self._failures: list[tuple["RunSpec", BaseException]] = []
+        self._done = threading.Event()
+        if expected == 0:
+            self._done.set()
+
+    # -- delivery (service side) ---------------------------------------
+    def _deliver(self, key: str, summary: "RunSummary") -> None:
+        with self._lock:
+            if key in self._results:
+                return
+            self._results[key] = summary
+            self._delivered += 1
+            last = self._delivered == self.expected
+        self._queue.put(summary)
+        if last:
+            self._done.set()
+
+    def _deliver_failure(self, spec: "RunSpec",
+                         exc: BaseException) -> None:
+        with self._lock:
+            self._failures.append((spec, exc))
+            self._delivered += 1
+            last = self._delivered == self.expected
+        self._queue.put(None)      # keeps the stream's count moving
+        if last:
+            self._done.set()
+
+    # -- consumption (client side) -------------------------------------
+    def done(self) -> bool:
+        """True once every unique spec has resolved or failed."""
+        return self._done.is_set()
+
+    @property
+    def failures(self) -> list[tuple["RunSpec", BaseException]]:
+        with self._lock:
+            return list(self._failures)
+
+    def as_completed(self, timeout: Optional[float] = None):
+        """Yield each finished :class:`RunSummary` as it lands.
+
+        Completion order, not grid order -- a cache hit streams out
+        before a long simulation submitted earlier.  Failed specs are
+        skipped here (they surface in :meth:`result` /
+        :attr:`failures`).  ``timeout`` bounds the wait for *each*
+        summary; on expiry a :class:`TimeoutError` is raised.
+        """
+        while self._consumed < self.expected:
+            try:
+                item = self._queue.get(timeout=timeout)
+            except queue.Empty:
+                raise TimeoutError(
+                    f"no run finished within {timeout}s "
+                    f"({self._consumed}/{self.expected} streamed)") from None
+            self._consumed += 1
+            if item is not None:
+                yield item
+
+    def result(self, timeout: Optional[float] = None) -> "ExperimentResult":
+        """Block until the whole grid resolved; raise if any run failed."""
+        from repro.errors import ExperimentExecutionError
+        from repro.experiments.runner import ExperimentResult
+
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"job incomplete after {timeout}s "
+                f"({self._delivered}/{self.expected} resolved)")
+        if self._failures:
+            raise ExperimentExecutionError(self.failures)
+        return ExperimentResult(self.experiment, dict(self._results))
+
+
+class ExperimentService:
+    """Serve experiment grids to many concurrent clients.
+
+    One service owns one memo, one (optional) content-addressed store,
+    one in-flight table, and one execution backend; every job submitted
+    to it shares all four.  ``parallel=False`` executes in the
+    submitting job's worker thread (deterministic, and registry-local
+    backends/timing models stay visible); otherwise groups run in a
+    persistent shared process pool.
+    """
+
+    def __init__(self,
+                 store: Optional[Union[ResultStore, str, os.PathLike]] = None,
+                 max_workers: Optional[int] = None,
+                 parallel: bool = True,
+                 replay: bool = False,
+                 run_group_fn: Optional[Callable] = None) -> None:
+        if store is not None and not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        self.store: Optional[ResultStore] = store
+        self.replay = replay
+        self.memo = MemoLayer()
+        self.store_layer = (StoreLayer(store, replay=replay)
+                            if store is not None else None)
+        self.inflight = InflightTable()
+        self.planner = planner_for(replay)
+        self.backend = ExecutionBackend(max_workers=max_workers,
+                                        parallel=parallel,
+                                        run_group_fn=run_group_fn)
+        self.stats = ServiceStats()
+        self._stats_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def submit(self, experiment: Union["ExperimentSpec",
+                                       Iterable["RunSpec"]]) -> JobHandle:
+        """Accept a grid; resolution starts immediately in the
+        background.  Returns the job's :class:`JobHandle`."""
+        from repro.experiments.spec import ExperimentSpec
+
+        if not isinstance(experiment, ExperimentSpec):
+            experiment = ExperimentSpec("adhoc", tuple(experiment))
+        unique: dict[str, "RunSpec"] = {}
+        for spec in experiment.runs:
+            unique.setdefault(spec.spec_hash(), spec)
+        job = JobHandle(experiment, expected=len(unique))
+        with self._stats_lock:
+            self.stats.jobs += 1
+            self.stats.requested += len(experiment.runs)
+            self.stats.deduplicated += len(experiment.runs) - len(unique)
+        worker = threading.Thread(target=self._run_job,
+                                  args=(job, unique),
+                                  name=f"repro-job-{self.stats.jobs}",
+                                  daemon=True)
+        worker.start()
+        return job
+
+    def run_experiment(self,
+                       experiment: Union["ExperimentSpec",
+                                         Iterable["RunSpec"]],
+                       timeout: Optional[float] = None
+                       ) -> "ExperimentResult":
+        """Synchronous convenience: ``submit(...).result(...)``."""
+        return self.submit(experiment).result(timeout)
+
+    def store_stats(self) -> Optional[StoreStats]:
+        """Snapshot of the backing store's hit/miss/evict/corrupt
+        counters (None when the service runs store-less)."""
+        return self.store.stats.snapshot() if self.store else None
+
+    def close(self) -> None:
+        """Shut down the shared worker pool (jobs already submitted
+        finish first)."""
+        self.backend.close()
+
+    def __enter__(self) -> "ExperimentService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Job resolution
+    # ------------------------------------------------------------------
+    def _run_job(self, job: JobHandle,
+                 unique: dict[str, "RunSpec"]) -> None:
+        pending = dict(unique)
+        try:
+            self._resolve_job(job, pending)
+        except Exception as exc:          # pragma: no cover - defensive
+            # never leave a job hanging: fail whatever has not resolved
+            with job._lock:
+                resolved = set(job._results)
+                failed = {s.spec_hash() for s, _ in job._failures}
+            for key, spec in pending.items():
+                if key not in resolved and key not in failed:
+                    job._deliver_failure(spec, exc)
+
+    def _resolve_job(self, job: JobHandle,
+                     unique: dict[str, "RunSpec"]) -> None:
+        specs = list(unique.values())
+
+        # 1. in-process memo
+        hits, remaining = self.memo.resolve(specs)
+        self._count(memo_hits=len(hits))
+        for key, summary in hits.items():
+            job._deliver(key, summary)
+
+        # 2. content-addressed store (backfills the memo)
+        if self.store_layer is not None and remaining:
+            hits, remaining = self.store_layer.resolve(remaining)
+            self._count(store_hits=len(hits))
+            for key, summary in hits.items():
+                self.memo.store(unique[key], summary)
+                job._deliver(key, summary)
+
+        if not remaining:
+            return
+
+        # 3. cross-request in-flight dedup
+        owned, joined = self.inflight.claim(
+            spec.spec_hash() for spec in remaining)
+        self._count(inflight_joined=len(joined))
+        for key, future in {**owned, **joined}.items():
+            future.add_done_callback(
+                partial(self._on_future, job, unique[key]))
+
+        # double-check the memo for owned keys: another job may have
+        # resolved (and retired) the run between our memo miss and the
+        # claim -- serve it rather than re-executing
+        for key in list(owned):
+            summary = self.memo.get(key)
+            if summary is not None:
+                self.inflight.resolve(key, summary)
+                del owned[key]
+
+        # 4. execute what this job owns
+        if owned:
+            self._execute_owned(
+                [unique[key] for key in owned])
+
+    def _execute_owned(self, specs: Sequence["RunSpec"]) -> None:
+        groups = self.planner.plan(specs)
+        if self.backend.parallel:
+            futures = {self.backend.submit_group(group): group
+                       for group in groups}
+            from concurrent.futures import as_completed
+            for future in as_completed(futures):
+                self._settle_group(futures[future], future)
+        else:
+            # inline execution: each group resolves -- and streams to
+            # every waiting job -- before the next one starts
+            for group in groups:
+                self._settle_group(group, self.backend.submit_group(group))
+
+    def _settle_group(self, group: Sequence["RunSpec"],
+                      future: Future) -> None:
+        try:
+            summaries = future.result()
+        except Exception as exc:
+            self._count(failed=len(group))
+            for spec in group:
+                self.inflight.fail(spec.spec_hash(), exc)
+            return
+        for spec, summary in zip(group, summaries):
+            self.memo.store(spec, summary)
+            if self.store_layer is not None:
+                self.store_layer.store(spec, summary)
+            # resolving the future delivers to this job and every joiner
+            self.inflight.resolve(spec.spec_hash(), summary)
+        self._count(executed=1,
+                    captured=1 if len(group) > 1 else 0,
+                    replayed=len(group) - 1)
+
+    def _on_future(self, job: JobHandle, spec: "RunSpec",
+                   future: Future) -> None:
+        exc = future.exception()
+        if exc is not None:
+            job._deliver_failure(spec, exc)
+        else:
+            job._deliver(spec.spec_hash(), future.result())
+
+    def _count(self, **deltas: int) -> None:
+        with self._stats_lock:
+            for name, delta in deltas.items():
+                setattr(self.stats, name,
+                        getattr(self.stats, name) + delta)
+
+
+def service_from_env(
+        store_dir: Optional[Union[str, os.PathLike]] = None
+) -> ExperimentService:
+    """An :class:`ExperimentService` configured from the documented
+    environment knobs (the same family :func:`runner_from_env` reads):
+    ``REPRO_CACHE_DIR`` locates the store (overridden by
+    ``store_dir``), ``REPRO_STORE_MAX_ENTRIES`` /
+    ``REPRO_STORE_MAX_BYTES`` bound it, ``REPRO_MAX_WORKERS`` sizes
+    the shared pool, ``REPRO_SERIAL=1`` forces inline execution, and
+    ``REPRO_REPLAY=1`` enables the capture-once/replay-rest fast
+    path."""
+    root = store_dir or os.environ.get("REPRO_CACHE_DIR") or None
+    max_workers = os.environ.get("REPRO_MAX_WORKERS")
+    return ExperimentService(
+        store=store_from_env(root) if root else None,
+        max_workers=int(max_workers) if max_workers else None,
+        parallel=os.environ.get("REPRO_SERIAL", "") not in ("1", "true"),
+        replay=os.environ.get("REPRO_REPLAY", "") in ("1", "true"),
+    )

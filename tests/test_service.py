@@ -1,0 +1,441 @@
+"""Tests for the layered experiment service: the content-addressed
+ResultStore (metrics, eviction, quarantine, temp-file reclamation),
+the resolver chain, replay planning, the cross-request InflightTable,
+concurrency invariants (shared-store races, in-flight dedup), and the
+ExperimentService streaming job API."""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.errors import ExperimentExecutionError, SimulationError
+from repro.experiments import (
+    CACHE_VERSION, ExperimentSpec, ResultCache, Runner, RunSpec,
+    RunSummary,
+)
+from repro.params import DEFAULT_PARAMS
+from repro.service import (
+    STORE_VERSION, DirectPlanner, ExperimentService, InflightTable,
+    MemoLayer, ReplayPlanner, ResolverChain, ResultStore, StoreLayer,
+    run_group,
+)
+
+#: a fast workload for end-to-end service tests
+FAST = dict(workload="dense_mvm", scale=0.05)
+
+
+def spec_n(n: int) -> RunSpec:
+    """Cheap distinct specs (args vary the content hash; nothing runs)."""
+    return RunSpec("dense_mvm", "misp", "1x8", args={"n": n})
+
+
+def summary_for(spec: RunSpec, cycles: int = 100) -> RunSummary:
+    return RunSummary(workload=spec.workload, system=spec.system,
+                      config=spec.config, cycles=cycles,
+                      spec_hash=spec.spec_hash())
+
+
+def wait_until(predicate, timeout: float = 10.0) -> None:
+    deadline = time.time() + timeout
+    while not predicate():
+        if time.time() > deadline:
+            raise AssertionError("condition not reached in time")
+        time.sleep(0.005)
+
+
+# ----------------------------------------------------------------------
+# ResultStore: metrics, integrity, eviction
+# ----------------------------------------------------------------------
+class TestResultStore:
+    def test_hit_miss_metrics(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = spec_n(1)
+        assert store.get(spec) is None
+        store.put(spec, summary_for(spec))
+        assert store.get(spec) == summary_for(spec)
+        assert store.stats.misses == 1
+        assert store.stats.hits == 1
+        assert store.stats.puts == 1
+        assert store.stats.hit_rate == 0.5
+        assert "50.0% hit rate" in str(store.stats)
+        snap = store.stats.snapshot()
+        store.get(spec)
+        assert snap.hits == 1 and store.stats.hits == 2
+
+    def test_corrupt_entry_counted_and_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = spec_n(1)
+        path = store.path_for(spec)
+        path.write_text("{not json")
+        assert store.get(spec) is None
+        assert store.stats.corrupt == 1
+        assert store.stats.misses == 0
+        assert not path.exists()                       # quarantined away
+        assert list(tmp_path.glob("*.corrupt"))
+        # the key is writable again and serves normally afterwards
+        store.put(spec, summary_for(spec))
+        assert store.get(spec) == summary_for(spec)
+
+    def test_misaddressed_entry_is_corruption(self, tmp_path):
+        store = ResultStore(tmp_path)
+        a, b = spec_n(1), spec_n(2)
+        store.put(a, summary_for(a))
+        # copy a's payload under b's address: content no longer matches
+        store.path_for(b).write_text(store.path_for(a).read_text())
+        assert store.get(b) is None
+        assert store.stats.corrupt == 1
+        assert not store.path_for(b).exists()
+
+    def test_version_mismatch_is_a_plain_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = spec_n(1)
+        store.put(spec, summary_for(spec))
+        payload = json.loads(store.path_for(spec).read_text())
+        payload["store_version"] = payload["cache_version"] = \
+            STORE_VERSION - 1
+        store.path_for(spec).write_text(json.dumps(payload))
+        assert store.get(spec) is None
+        assert store.stats.misses == 1 and store.stats.corrupt == 0
+        assert store.path_for(spec).exists()           # not quarantined
+
+    def test_orphaned_tmp_swept_on_init_and_clear(self, tmp_path):
+        orphan = tmp_path / "crashed-writer.tmp"
+        orphan.write_text("half a payload")
+        os.utime(orphan, (0, 0))                       # ancient
+        live = tmp_path / "live-writer.tmp"
+        live.write_text("in flight")                   # fresh mtime
+        store = ResultStore(tmp_path)
+        assert not orphan.exists()                     # reclaimed
+        assert live.exists()                           # grace period
+        assert store.stats.tmp_reclaimed == 1
+        store.clear()
+        assert not live.exists()                       # clear takes all
+
+    def test_lru_eviction_under_entry_bound(self, tmp_path):
+        store = ResultStore(tmp_path, max_entries=3)
+        specs = [spec_n(i) for i in range(4)]
+        for i, spec in enumerate(specs[:3]):
+            path = store.put(spec, summary_for(spec))
+            os.utime(path, (100 * (i + 1), 100 * (i + 1)))
+        store.get(specs[0])            # refresh: specs[0] now most recent
+        store.put(specs[3], summary_for(specs[3]))
+        assert len(store) == 3
+        assert store.stats.evictions == 1
+        assert not store.path_for(specs[1]).exists()   # the LRU entry
+        assert store.path_for(specs[0]).exists()       # refreshed survives
+
+    def test_byte_bound_keeps_newest(self, tmp_path):
+        probe = ResultStore(tmp_path / "probe")
+        spec = spec_n(0)
+        entry_size = probe.put(spec, summary_for(spec)).stat().st_size
+        store = ResultStore(tmp_path / "real",
+                            max_bytes=int(entry_size * 1.5))
+        a, b = spec_n(1), spec_n(2)
+        pa = store.put(a, summary_for(a))
+        os.utime(pa, (100, 100))
+        store.put(b, summary_for(b))
+        assert len(store) == 1
+        assert store.path_for(b).exists()
+        assert store.stats.evictions == 1
+
+    def test_sweep_quarantines_and_reclaims(self, tmp_path):
+        store = ResultStore(tmp_path)
+        good = spec_n(1)
+        store.put(good, summary_for(good))
+        (tmp_path / ("d" * 64 + ".json")).write_text("garbage{")
+        (tmp_path / "orphan.tmp").write_text("x")
+        report = store.sweep()
+        assert report.checked == 2
+        assert report.quarantined == 1
+        assert report.tmp_reclaimed == 1
+        assert store.get(good) == summary_for(good)    # survivors intact
+
+    def test_result_cache_alias_is_the_store(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert isinstance(cache, ResultStore)
+        assert CACHE_VERSION == STORE_VERSION
+        spec = spec_n(7)
+        cache.put(spec, summary_for(spec))
+        assert ResultStore(tmp_path).get(spec) == summary_for(spec)
+
+
+# ----------------------------------------------------------------------
+# Planner and inflight table
+# ----------------------------------------------------------------------
+class TestPlanning:
+    def test_direct_planner_singletons(self):
+        specs = [spec_n(i) for i in range(3)]
+        assert DirectPlanner().plan(specs) == [[s] for s in specs]
+
+    def test_replay_planner_groups_timing_only_diffs(self):
+        mems = [RunSpec(system="misp", config="1x4",
+                        params=DEFAULT_PARAMS.with_changes(mem_cost=mc),
+                        **FAST)
+                for mc in (15, 60, 240)]
+        control = RunSpec(
+            system="misp", config="1x4",
+            params=DEFAULT_PARAMS.with_changes(timer_quantum=123456),
+            **FAST)
+        uncapturable = RunSpec(workload="RayTracer", system="multiprog",
+                               scale=0.05)
+        plan = ReplayPlanner().plan(mems + [control, uncapturable])
+        sizes = sorted(len(group) for group in plan)
+        assert sizes == [1, 1, 3]
+        (big,) = [g for g in plan if len(g) == 3]
+        assert big == mems
+
+
+class TestInflightTable:
+    def test_claim_join_resolve(self):
+        table = InflightTable()
+        owned, joined = table.claim(["k1", "k2"])
+        assert set(owned) == {"k1", "k2"} and not joined
+        owned2, joined2 = table.claim(["k1", "k3"])
+        assert set(owned2) == {"k3"} and set(joined2) == {"k1"}
+        assert joined2["k1"] is owned["k1"]            # the same future
+        assert table.stats.owned == 3 and table.stats.joined == 1
+        table.resolve("k1", "summary")
+        assert joined2["k1"].result(timeout=1) == "summary"
+        assert "k1" not in table and "k2" in table
+
+    def test_fail_propagates_to_joiners(self):
+        table = InflightTable()
+        owned, _ = table.claim(["k"])
+        _, joined = table.claim(["k"])
+        boom = SimulationError("boom")
+        table.fail("k", boom)
+        assert joined["k"].exception(timeout=1) is boom
+        assert len(table) == 0
+
+
+# ----------------------------------------------------------------------
+# Resolver chain
+# ----------------------------------------------------------------------
+class StubExecutor:
+    """Terminal layer that manufactures summaries and records calls."""
+
+    name = "executor"
+
+    def __init__(self):
+        self.calls = []
+        self.failures = []
+
+    def resolve(self, specs):
+        self.calls.append(list(specs))
+        return {s.spec_hash(): summary_for(s) for s in specs}, []
+
+    def store(self, spec, summary):
+        pass
+
+
+class TestResolverChain:
+    def test_layer_order_and_backfill(self, tmp_path):
+        store = ResultStore(tmp_path)
+        executor = StubExecutor()
+        chain = ResolverChain([MemoLayer(), StoreLayer(store), executor])
+        specs = [spec_n(i) for i in range(3)]
+
+        first = chain.resolve(specs)
+        assert first.hits_by_layer == {"memo": 0, "store": 0,
+                                       "executor": 3}
+        assert store.stats.puts == 3                   # backfilled down
+        assert len(first.summaries) == 3
+
+        second = chain.resolve(specs)                  # memo short-circuit
+        assert second.hits_by_layer == {"memo": 3, "store": 0,
+                                        "executor": 0}
+        assert executor.calls[-1] == []
+
+        fresh = ResolverChain([MemoLayer(), StoreLayer(store),
+                               StubExecutor()])
+        third = fresh.resolve(specs)                   # disk short-circuit
+        assert third.hits_by_layer == {"memo": 0, "store": 3,
+                                       "executor": 0}
+
+
+# ----------------------------------------------------------------------
+# Failure aggregation (every failed spec named, batch survivors kept)
+# ----------------------------------------------------------------------
+class TestFailureReporting:
+    def test_all_failures_named_and_counted(self, tmp_path):
+        good = RunSpec(system="1p", **FAST)
+        bad1 = RunSpec(system="misp", config="1x4", limit=10, **FAST)
+        bad2 = RunSpec(system="smp", config="smp4", limit=10, **FAST)
+        runner = Runner(cache_dir=tmp_path, parallel=False)
+        with pytest.raises(ExperimentExecutionError) as excinfo:
+            runner.run_many([good, bad1, bad2])
+        err = excinfo.value
+        assert isinstance(err, SimulationError)        # old catch sites work
+        assert len(err.failures) == 2
+        assert bad1.describe() in str(err)
+        assert bad2.describe() in str(err)
+        assert runner.stats.failed == 2
+        assert runner.stats.executed == 1              # the good run kept
+        # survivors are stored: a retry only re-runs the failures
+        retry = Runner(cache_dir=tmp_path, parallel=False)
+        with pytest.raises(ExperimentExecutionError):
+            retry.run_many([good, bad1, bad2])
+        assert retry.stats.cache_hits == 1
+        assert retry.stats.executed == 0
+        assert retry.stats.failed == 2
+
+    def test_parallel_failures_also_aggregate(self):
+        bads = [RunSpec(system="misp", config="1x4", limit=10, **FAST),
+                RunSpec(system="smp", config="smp4", limit=10, **FAST)]
+        runner = Runner(parallel=True, max_workers=2)
+        with pytest.raises(ExperimentExecutionError) as excinfo:
+            runner.run_many(bads)
+        assert len(excinfo.value.failures) == 2
+
+
+# ----------------------------------------------------------------------
+# Concurrency invariants
+# ----------------------------------------------------------------------
+class TestConcurrency:
+    def test_two_runners_race_one_store_directory(self, tmp_path):
+        """Atomic-write invariant: two processes'-worth of Runners
+        racing on the same spec leave one valid entry and agree."""
+        spec = RunSpec(system="misp", config="1x4", **FAST)
+        results, errors = {}, []
+
+        def race(name):
+            try:
+                runner = Runner(cache_dir=tmp_path, parallel=False)
+                results[name] = runner.run(spec)
+            except Exception as exc:                   # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=race, args=(n,))
+                   for n in ("a", "b")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors
+        assert results["a"] == results["b"]
+        check = ResultStore(tmp_path)
+        assert check.get(spec) == results["a"]         # entry readable
+        assert check.stats.corrupt == 0
+        assert not list(tmp_path.glob("*.tmp"))        # no orphans left
+
+    def test_concurrent_submits_dedup_onto_one_execution(self):
+        """Two concurrent jobs wanting the same spec share one in-flight
+        run: exactly one execution, both jobs receive the summary."""
+        calls = []
+        release = threading.Event()
+
+        def gated(group):
+            calls.append(tuple(group))
+            assert release.wait(timeout=30)
+            return run_group(group)
+
+        spec = RunSpec(system="misp", config="1x4", **FAST)
+        with ExperimentService(parallel=False,
+                               run_group_fn=gated) as service:
+            job_a = service.submit([spec])
+            wait_until(lambda: len(calls) == 1)        # A owns the run
+            job_b = service.submit([spec])
+            wait_until(lambda: service.inflight.stats.joined == 1)
+            assert not job_a.done() and not job_b.done()
+            release.set()
+            result_a = job_a.result(timeout=120)
+            result_b = job_b.result(timeout=120)
+        assert len(calls) == 1                         # exactly one execution
+        assert service.stats.executed == 1
+        assert service.stats.inflight_joined == 1
+        assert result_a[spec] == result_b[spec]
+        assert result_a[spec].cycles > 0
+
+
+# ----------------------------------------------------------------------
+# ExperimentService job API
+# ----------------------------------------------------------------------
+class TestExperimentService:
+    @pytest.mark.smoke
+    def test_service_round_trip_smoke(self, tmp_path):
+        """CI smoke gate: submit -> stream -> resubmit (memo) ->
+        fresh service (store hits), numbers equal the batch Runner."""
+        grid = ExperimentSpec.grid("svc-smoke", ["dense_mvm"],
+                                   systems=("1p", "misp"), scale=0.05)
+        with ExperimentService(store=ResultStore(tmp_path),
+                               parallel=False) as service:
+            streamed = list(service.submit(grid).as_completed(timeout=120))
+            assert len(streamed) == 2
+            result = service.submit(grid).result(timeout=120)
+            assert service.stats.executed == 2         # second job all memo
+            assert service.stats.memo_hits == 2
+        baseline = Runner(parallel=False).run_many(grid.runs)
+        assert result.summaries() == baseline
+
+        fresh = ExperimentService(store=ResultStore(tmp_path),
+                                  parallel=False)
+        again = fresh.submit(grid).result(timeout=120)
+        assert fresh.stats.executed == 0
+        assert fresh.stats.store_hits == 2
+        assert fresh.store.stats.hits == 2             # the metric line
+        assert again.summaries() == baseline
+
+    def test_streams_partial_results_before_grid_completes(self):
+        gate = threading.Event()
+
+        def gated(group):
+            if group[0].system == "smp":
+                assert gate.wait(timeout=30)
+            return run_group(group)
+
+        specs = [RunSpec(system="misp", config="1x4", **FAST),
+                 RunSpec(system="smp", config="smp4", **FAST)]
+        with ExperimentService(parallel=False,
+                               run_group_fn=gated) as service:
+            job = service.submit(specs)
+            stream = job.as_completed(timeout=120)
+            first = next(stream)
+            assert first.system == "misp"
+            assert not job.done()                      # grid still running
+            gate.set()
+            rest = list(stream)
+        assert len(rest) == 1 and rest[0].system == "smp"
+        assert job.done()
+
+    def test_service_replay_mode_captures_once(self):
+        specs = [RunSpec(system="misp", config="1x4",
+                         params=DEFAULT_PARAMS.with_changes(mem_cost=mc),
+                         **FAST)
+                 for mc in (15, 60, 240)]
+        with ExperimentService(parallel=False, replay=True) as service:
+            result = service.submit(specs).result(timeout=120)
+        assert service.stats.executed == 1
+        assert service.stats.captured == 1
+        assert service.stats.replayed == 2
+        assert [result[s].timing for s in specs] == \
+            ["execute", "replay", "replay"]
+
+    def test_failed_spec_surfaces_in_result(self):
+        good = RunSpec(system="1p", **FAST)
+        bad = RunSpec(system="misp", config="1x4", limit=10, **FAST)
+        with ExperimentService(parallel=False) as service:
+            job = service.submit([good, bad])
+            streamed = list(job.as_completed(timeout=120))
+            assert len(streamed) == 1                  # the good run
+            with pytest.raises(ExperimentExecutionError) as excinfo:
+                job.result(timeout=10)
+        assert bad.describe() in str(excinfo.value)
+        assert service.stats.failed == 1
+
+    def test_streaming_figure4_matches_batch(self, tmp_path):
+        from repro.analysis import run_figure4, run_figure4_streaming
+
+        names = ["dense_mvm"]
+        seen = []
+        with ExperimentService(store=ResultStore(tmp_path),
+                               parallel=False) as service:
+            streamed = run_figure4_streaming(
+                service, names, ams_count=3, scale=0.05,
+                progress=lambda done, total, s: seen.append((done, total)))
+        batch = run_figure4(names, ams_count=3, scale=0.05,
+                            runner=Runner(parallel=False))
+        assert streamed.rows == batch.rows
+        assert seen == [(1, 3), (2, 3), (3, 3)]
