@@ -12,7 +12,8 @@ cache.
 from __future__ import annotations
 
 import argparse
-import sys
+import json
+import os
 import time
 from typing import Optional, Sequence
 
@@ -28,6 +29,7 @@ from repro.analysis.table2 import (
 )
 from repro.core.notation import FIGURE6_CONFIGS, config_name, parse_config
 from repro.experiments import Runner, default_runner
+from repro.obs.emit import ReportEmitter
 from repro.service import ExperimentService, store_from_env
 from repro.systems import SYSTEM_REGISTRY
 
@@ -48,79 +50,117 @@ def full_report(workloads: Optional[Sequence[str]] = None,
                 rt_scale: float = 0.15,
                 runner: Optional[Runner] = None,
                 service: Optional[ExperimentService] = None,
-                stream=sys.stdout) -> None:
+                stream=None,
+                emitter: Optional[ReportEmitter] = None,
+                smoke: bool = False) -> None:
     """Regenerate every artifact.
 
     With ``service`` the Figure 4 grid flows through the streaming job
     API -- partial results print as runs finish -- and the report ends
     with the content-addressed store's hit-rate line.  ``runner`` and
     ``service`` should share one store so artifacts warm each other.
+
+    Output flows through a :class:`~repro.obs.emit.ReportEmitter`
+    (built from ``stream`` when not passed), so every line carries the
+    report's correlation id in structured mode.  ``smoke`` restricts
+    the report to the Figure 4 grid -- the fast end-to-end slice CI
+    exercises for observability artifacts.
     """
     from repro.workloads import FIGURE4_ORDER
     names = list(workloads or FIGURE4_ORDER)
     runner = runner or default_runner()
-
-    def emit(text: str) -> None:
-        print(text, file=stream)
-        stream.flush()
+    out = emitter if emitter is not None else ReportEmitter(stream=stream)
+    emit = out.emit
 
     t0 = time.time()
-    emit("=" * 70)
-    emit("MISP reproduction -- full evaluation report")
+    emit("=" * 70, kind="header")
+    emit("MISP reproduction -- full evaluation report", kind="header",
+         run=out.run_id)
     emit("system backends: " + ", ".join(
         f"{b.name} ({b.default_config})"
-        for b in SYSTEM_REGISTRY.backends()))
-    emit("=" * 70)
+        for b in SYSTEM_REGISTRY.backends()), kind="header")
+    emit("=" * 70, kind="header")
 
-    emit("\n--- Figure 4: speedup vs 1P (MISP 1x8 vs SMP 8-way) ---")
+    out.section("Figure 4: speedup vs 1P (MISP 1x8 vs SMP 8-way)")
     if service is not None:
         def progress(done: int, total: int, summary) -> None:
             emit(f"  [{done}/{total}] {summary.workload}/{summary.system}:"
-                 f"{summary.config} -> {summary.cycles:,} cycles")
+                 f"{summary.config} -> {summary.cycles:,} cycles",
+                 kind="progress", done=done, total=total,
+                 workload=summary.workload, system=summary.system,
+                 config=summary.config, cycles=summary.cycles)
 
         fig4 = run_figure4_streaming(service, names, scale=scale,
                                      progress=progress)
     else:
         fig4 = run_figure4(names, scale=scale, runner=runner)
-    emit(format_figure4(fig4))
+    emit(format_figure4(fig4), kind="artifact", artifact="figure4")
 
-    emit("\n--- Table 1: serializing events (MISP 1x8) ---")
-    emit(format_table1(run_table1(names, scale=scale, runner=runner)))
+    if not smoke:
+        out.section("Table 1: serializing events (MISP 1x8)")
+        emit(format_table1(run_table1(names, scale=scale, runner=runner)),
+             kind="artifact", artifact="table1")
 
-    emit("\n--- Figure 5: sensitivity to signal cost ---")
-    emit(format_figure5(run_figure5(names, scale=scale, runner=runner)))
+        out.section("Figure 5: sensitivity to signal cost")
+        emit(format_figure5(run_figure5(names, scale=scale, runner=runner)),
+             kind="artifact", artifact="figure5")
 
-    emit("\n--- Figure M: sensitivity to memory cost (new axis) ---")
-    emit(format_figure_mem(run_figure_mem(workload=names[0], scale=scale,
-                                          runner=runner)))
-    sample = fig4.misp_summaries[names[0]].mem
-    emit(f"{names[0]} on MISP: {sample.accesses:,} hierarchy accesses, "
-         f"L1 {sample.l1_hit_rate * 100:.1f}% / "
-         f"L2 {sample.l2_hit_rate * 100:.1f}% hit, "
-         f"{sample.l1_invalidations} L1 invalidations, "
-         f"TLB {sample.tlb_hits:,}h/{sample.tlb_misses:,}m/"
-         f"{sample.tlb_flushes}f")
+        out.section("Figure M: sensitivity to memory cost (new axis)")
+        emit(format_figure_mem(run_figure_mem(workload=names[0], scale=scale,
+                                              runner=runner)),
+             kind="artifact", artifact="figure_mem")
+        sample = fig4.misp_summaries[names[0]].mem
+        emit(f"{names[0]} on MISP: {sample.accesses:,} hierarchy accesses, "
+             f"L1 {sample.l1_hit_rate * 100:.1f}% / "
+             f"L2 {sample.l2_hit_rate * 100:.1f}% hit, "
+             f"{sample.l1_invalidations} L1 invalidations, "
+             f"TLB {sample.tlb_hits:,}h/{sample.tlb_misses:,}m/"
+             f"{sample.tlb_flushes}f", kind="stats")
 
-    emit("\n--- " + figure6_text())
+        emit("\n--- " + figure6_text(), kind="artifact", artifact="figure6")
 
-    emit("\n--- Figure 7: MP throughput under multiprogramming ---")
-    fig7 = run_figure7(rt_scale=rt_scale, runner=runner)
-    emit(format_figure7(fig7))
+        out.section("Figure 7: MP throughput under multiprogramming")
+        fig7 = run_figure7(rt_scale=rt_scale, runner=runner)
+        emit(format_figure7(fig7), kind="artifact", artifact="figure7")
 
-    emit("\n--- Table 2: porting legacy applications ---")
-    emit(format_table2(run_table2(runner=runner)))
-    speedup = ode_restructuring_speedup(runner=runner)
-    emit(f"ODE restructuring speedup: {speedup:.2f}x")
+        out.section("Table 2: porting legacy applications")
+        emit(format_table2(run_table2(runner=runner)),
+             kind="artifact", artifact="table2")
+        speedup = ode_restructuring_speedup(runner=runner)
+        emit(f"ODE restructuring speedup: {speedup:.2f}x", kind="stats",
+             speedup=speedup)
 
     emit(f"\n[report completed in {time.time() - t0:.1f}s; "
-         f"runs: {runner.stats}]")
+         f"runs: {runner.stats}]", kind="stats")
     if service is not None:
-        emit(f"[service: {service.stats}]")
+        emit(f"[service: {service.stats}]", kind="stats")
     store = service.store if service is not None else runner.store
     if store is not None:
         # the ROADMAP's serving target: a figure request should be
         # almost entirely store hits -- report the measured rate
-        emit(f"[{store.stats}]")
+        emit(f"[{store.stats}]", kind="stats")
+
+
+def _observed_timeline(names: Sequence[str], scale: Optional[float],
+                       emitter: ReportEmitter, trace_out: str) -> None:
+    """Run one observed MISP simulation and export its timeline.
+
+    The run is labeled with the report's correlation id, so the
+    Perfetto document, the metrics snapshot, and the structured report
+    lines all join on one id.
+    """
+    from repro.obs.perfetto import export_run
+    from repro.systems import Session
+
+    workload = names[0]
+    session = Session("misp").observe(run_id=emitter.run_id)
+    result = session.run(workload, scale=scale if scale is not None else 0.05)
+    doc = export_run(result, trace_out)
+    emitter.emit(
+        f"[trace: {len(doc['traceEvents'])} events from observed "
+        f"{workload} run ({result.cycles:,} cycles) -> {trace_out}]",
+        kind="artifact", artifact="trace", path=trace_out,
+        events=len(doc["traceEvents"]), cycles=result.cycles)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -144,21 +184,70 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="serve Figure 4 through the ExperimentService "
                              "job API (partial results stream as runs "
                              "finish; prints the store hit-rate line)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast end-to-end slice: Figure 4 grid only, "
+                             "small default scale (CI's observability run)")
+    parser.add_argument("--structured", action="store_true",
+                        default=bool(os.environ.get("REPRO_OBS_STRUCTURED")),
+                        help="emit JSON-lines records with run correlation "
+                             "ids instead of human text "
+                             "[REPRO_OBS_STRUCTURED]")
+    parser.add_argument("--metrics", action="store_true",
+                        default=bool(os.environ.get("REPRO_OBS")),
+                        help="print the metrics-registry snapshot after "
+                             "the report [REPRO_OBS]")
+    parser.add_argument("--metrics-out", default=os.environ.get(
+                            "REPRO_OBS_METRICS_OUT"),
+                        metavar="FILE",
+                        help="write the metrics snapshot as JSON "
+                             "[REPRO_OBS_METRICS_OUT]")
+    parser.add_argument("--trace-out", default=os.environ.get(
+                            "REPRO_OBS_TRACE_OUT"),
+                        metavar="FILE",
+                        help="run one observed MISP simulation and write "
+                             "its Perfetto/Chrome timeline JSON "
+                             "[REPRO_OBS_TRACE_OUT]")
     args = parser.parse_args(argv)
+    from repro.workloads import FIGURE4_ORDER
+    names = list(args.workloads or FIGURE4_ORDER)
+    scale = args.scale
+    if args.smoke and scale is None:
+        scale = 0.05
+
+    emitter = ReportEmitter(structured=args.structured)
     service = None
     store = None
     if args.stream:
         import tempfile
         store_dir = args.cache_dir or tempfile.mkdtemp(prefix="repro-store-")
-        store = store_from_env(store_dir)
+        store = store_from_env(store_dir, instance=emitter.run_id)
         service = ExperimentService(store=store, max_workers=args.jobs,
                                     parallel=not args.serial,
-                                    replay=args.replay)
+                                    replay=args.replay,
+                                    instance=emitter.run_id)
     runner = Runner(cache_dir=None if store else args.cache_dir,
                     store=store, max_workers=args.jobs,
-                    parallel=not args.serial, replay=args.replay)
-    full_report(args.workloads, args.scale, args.rt_scale, runner=runner,
-                service=service)
+                    parallel=not args.serial, replay=args.replay,
+                    instance=emitter.run_id)
+    full_report(names, scale, args.rt_scale, runner=runner,
+                service=service, emitter=emitter, smoke=args.smoke)
+    if args.trace_out:
+        _observed_timeline(names, scale, emitter, args.trace_out)
+    if args.metrics or args.metrics_out:
+        from repro.obs.metrics import get_registry
+        snapshot = get_registry().snapshot()
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                json.dump({"run": emitter.run_id, "metrics": snapshot},
+                          fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            emitter.emit(f"[metrics: {len(snapshot)} families -> "
+                         f"{args.metrics_out}]", kind="artifact",
+                         artifact="metrics", path=args.metrics_out,
+                         families=len(snapshot))
+        if args.metrics:
+            emitter.emit(get_registry().render_prometheus(),
+                         kind="metrics", families=len(snapshot))
     if service is not None:
         service.close()
     return 0

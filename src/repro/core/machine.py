@@ -69,6 +69,8 @@ class Machine:
         self.proxy_stats = ProxyStats()
         #: trace capture (repro.sim.captrace.TraceCapture), if enabled
         self._cap: Optional[Any] = None
+        #: observation state (repro.obs.observe.ObservedRun), if enabled
+        self._obs: Optional[Any] = None
 
         # -- build sequencers and processors ------------------------------
         self.sequencers: list[Sequencer] = []
@@ -99,8 +101,16 @@ class Machine:
         self.timing.bind(self)
         # hot-path hoists: one bound-method lookup per op, not an
         # attribute chain (these rebind on set_timing)
-        self._charge = self.timing.charge
-        self._signal_cycles = self.timing.signal_cycles
+        charge = self.timing.charge
+        signal_cycles = self.timing.signal_cycles
+        if self._obs is not None:
+            # observed runs count ops/cycles through a closure; when
+            # observation is off the raw bound methods are installed
+            # and the charge path is untouched
+            charge = self._obs.wrap_charge(charge)
+            signal_cycles = self._obs.wrap_signal(signal_cycles)
+        self._charge = charge
+        self._signal_cycles = signal_cycles
 
     def set_timing(self, timing: TimingModel) -> None:
         """Swap in a timing model (before any events are scheduled).
@@ -142,6 +152,25 @@ class Machine:
             self._cap = TraceCapture(self.engine)
             self.engine.set_recorder(self._cap)
         return self._cap
+
+    def enable_observation(self, obs: Any) -> Any:
+        """Attach an :class:`~repro.obs.observe.ObservedRun`.
+
+        Must run before any events are scheduled (the charge-path
+        wrapper has to see every op).  Turns on fine-grained trace
+        recording so the run can be exported as a timeline; when never
+        called, no wrapper, no fine records, and no registry writes
+        exist -- observation is strictly zero-cost when disabled.
+        """
+        if self.engine.events_executed or self.engine.pending():
+            raise SimulationError(
+                "enable_observation() must run before any events are "
+                "scheduled")
+        self._obs = obs
+        self.trace.record_fine = True
+        obs.bind_machine(self)
+        self._bind_timing()   # reinstall hot-path hoists, now wrapped
+        return obs
 
     # ------------------------------------------------------------------
     # Topology helpers
@@ -400,7 +429,7 @@ class Machine:
             # until the next SIGNAL.
             seq.stream = None
             seq.process_ref = None
-            self.trace.count(seq.seq_id, EventKind.SHRED_END)
+            self.trace.instant(self.now, seq.seq_id, EventKind.SHRED_END)
 
     def _kill_process_shreds(self, process: Process) -> None:
         """Tear down shreds orphaned by their process's exit.
@@ -415,7 +444,8 @@ class Machine:
                 if seq.stream is not None:
                     seq.stream.killed = True
                     seq.stream = None
-                    self.trace.count(seq.seq_id, EventKind.SHRED_END)
+                    self.trace.instant(self.now, seq.seq_id,
+                                       EventKind.SHRED_END, detail="killed")
                 seq.process_ref = None
                 seq.proxy_wait = False
 
@@ -428,7 +458,7 @@ class Machine:
             self._proxy_egress(seq, stream, op, ProxyKind.PAGE_FAULT, vpn=vpn)
             return
         process = seq.process_ref
-        self.trace.count(seq.seq_id, EventKind.PAGE_FAULT)
+        self.trace.instant(self.now, seq.seq_id, EventKind.PAGE_FAULT)
         space = process.address_space
         if not space.is_resident(vpn):
             priv = self.params.page_fault_service_cost
@@ -451,7 +481,8 @@ class Machine:
             self._proxy_egress(seq, stream, op, ProxyKind.SYSCALL,
                                service=op.kind, cost_override=op.cost)
             return
-        self.trace.count(seq.seq_id, EventKind.SYSCALL)
+        self.trace.instant(self.now, seq.seq_id, EventKind.SYSCALL,
+                           detail=op.kind)
         priv, spec = self.kernel.service_syscall(op.kind, op.cost)
         # priv traces back to params only when neither the op nor the
         # syscall table pinned an explicit cost
@@ -499,14 +530,16 @@ class Machine:
         t0 = self.now
         oms.enter_ring0()
         oms.busy = True
-        self.trace.count(oms.seq_id, EventKind.RING_ENTER)
+        self.trace.instant(t0, oms.seq_id, EventKind.RING_ENTER,
+                           detail=kind.value)
 
         def stage_suspend() -> None:
             cap = self._cap
             active = oms.processor.active_amss()
             for ams in active:
                 ams.suspend(self.now)
-                self.trace.count(ams.seq_id, EventKind.AMS_SUSPEND)
+                self.trace.instant(self.now, ams.seq_id,
+                                   EventKind.AMS_SUSPEND)
                 if cap is not None:
                     cap.mark("sus", ams.seq_id)
             if cap is not None:
@@ -529,7 +562,8 @@ class Machine:
             self.trace.record(t0, self.now, oms.seq_id, EventKind.RING_EXIT,
                               detail=kind.value)
             for ams in active:
-                self.trace.count(ams.seq_id, EventKind.AMS_RESUME)
+                self.trace.instant(self.now, ams.seq_id,
+                                   EventKind.AMS_RESUME)
                 if cap is not None:
                     cap.mark("res", ams.seq_id)
                 if ams.resume(self.now):
@@ -556,8 +590,8 @@ class Machine:
         ams.proxy_wait = True
         event = (EventKind.PAGE_FAULT if kind is ProxyKind.PAGE_FAULT
                  else EventKind.SYSCALL)
-        self.trace.count(ams.seq_id, event)
-        self.trace.count(ams.seq_id, EventKind.PROXY_REQUEST)
+        self.trace.instant(self.now, ams.seq_id, event)
+        self.trace.instant(self.now, ams.seq_id, EventKind.PROXY_REQUEST)
         request = ProxyRequest(ams=ams, kind=kind, op=op, vpn=vpn,
                                service=service, cost_override=cost_override,
                                raised_at=self.now)
@@ -582,7 +616,7 @@ class Machine:
         proc = oms.processor
         if proc.proxy_queue and proc.proxy_queue[0] is request:
             proc.proxy_queue.popleft()
-        self.trace.count(oms.seq_id, EventKind.PROXY_BEGIN)
+        self.trace.instant(self.now, oms.seq_id, EventKind.PROXY_BEGIN)
         process = request.process  # type: ignore[attr-defined]
         if request.kind is ProxyKind.PAGE_FAULT:
             space = process.address_space
@@ -621,7 +655,7 @@ class Machine:
             self._cap.mark("pdone", request.cap_id)  # type: ignore[attr-defined]
         ams = request.ams
         stream: InstructionStream = request.stream  # type: ignore[attr-defined]
-        self.trace.count(ams.seq_id, EventKind.PROXY_END)
+        self.trace.instant(self.now, ams.seq_id, EventKind.PROXY_END)
         if request.kind is ProxyKind.SYSCALL:
             # the OMS executed the call on the shred's behalf; commit it
             stream.complete(request.result)
@@ -642,7 +676,7 @@ class Machine:
         target = proc.by_sid(op.sid)
         if target is seq:
             raise ConfigurationError("SIGNAL to self is meaningless")
-        self.trace.count(seq.seq_id, EventKind.SIGNAL_SENT)
+        self.trace.instant(self.now, seq.seq_id, EventKind.SIGNAL_SENT)
         if target.stream is not None and not target.stream.finished:
             # ingress signal to a busy sequencer: asynchronous control
             # transfer through a registered YIELD-CONDITIONAL handler
@@ -651,7 +685,8 @@ class Machine:
                 raise ConfigurationError(
                     f"SIGNAL to busy sequencer sid={op.sid} with no "
                     "YIELD-CONDITIONAL handler registered")
-            self.trace.count(target.seq_id, EventKind.YIELD_EVENT)
+            self.trace.instant(self.now, target.seq_id,
+                               EventKind.YIELD_EVENT)
         else:
             label = op.label or f"shred@sid{op.sid}"
             target.stream = (op.continuation
@@ -659,8 +694,10 @@ class Machine:
                              else DirectStream(op.continuation, label=label))
             target.process_ref = seq.process_ref
             target.proxy_wait = False
-            self.trace.count(target.seq_id, EventKind.SHRED_START)
-        self.trace.count(target.seq_id, EventKind.SIGNAL_RECEIVED)
+            self.trace.instant(self.now, target.seq_id,
+                               EventKind.SHRED_START)
+        self.trace.instant(self.now, target.seq_id,
+                           EventKind.SIGNAL_RECEIVED)
         stream.complete(None)
         self._advance(target)
         if seq.stream is stream:
@@ -689,7 +726,8 @@ class Machine:
                 self._freeze_team(old, proc)
                 cost += self.params.sequencer_state_save_cost
                 n_save += 1
-            self.trace.count(oms.seq_id, EventKind.CONTEXT_SWITCH)
+            self.trace.instant(self.now, oms.seq_id,
+                               EventKind.CONTEXT_SWITCH, detail="out")
         new = self.kernel.scheduler.pick_next(cpu)
         if new is None:
             return
@@ -697,7 +735,8 @@ class Machine:
             new.start_time = self.now
         if old is None:
             cost += self.params.context_switch_cost
-            self.trace.count(oms.seq_id, EventKind.CONTEXT_SWITCH)
+            self.trace.instant(self.now, oms.seq_id,
+                               EventKind.CONTEXT_SWITCH, detail="in")
         if new.is_shredded:
             cost += self.params.sequencer_state_save_cost
             n_save += 1
@@ -772,7 +811,8 @@ class Machine:
         oms.process_ref = None
         if thread.is_shredded:
             self._freeze_team(thread, oms.processor)
-        self.trace.count(oms.seq_id, EventKind.CONTEXT_SWITCH)
+        self.trace.instant(self.now, oms.seq_id, EventKind.CONTEXT_SWITCH,
+                           detail="block")
         self.engine.schedule(duration, self._wake_thread, thread)
         self._advance(oms)
 
@@ -796,7 +836,7 @@ class Machine:
         item = self._pending[oms.processor.proc_id].popleft()
         tag = item[0]
         if tag == "timer":
-            self.trace.count(oms.seq_id, EventKind.TIMER)
+            self.trace.instant(self.now, oms.seq_id, EventKind.TIMER)
 
             def on_done() -> None:
                 cpu = oms.processor.proc_id
@@ -810,7 +850,7 @@ class Machine:
                                 priv_coefs=(("timer_service_cost", 1, 1),),
                                 on_done=on_done)
         elif tag == "device":
-            self.trace.count(oms.seq_id, EventKind.INTERRUPT)
+            self.trace.instant(self.now, oms.seq_id, EventKind.INTERRUPT)
             self._ring0_service(
                 oms, EventKind.INTERRUPT,
                 self.params.interrupt_service_cost,

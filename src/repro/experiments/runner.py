@@ -30,13 +30,14 @@ alias execution-driven numbers.
 
 from __future__ import annotations
 
+import itertools
 import os
-from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence, Union
 
 from repro.errors import ExperimentExecutionError
 from repro.experiments.spec import ExperimentSpec, RunSpec
 from repro.experiments.summary import RunSummary
+from repro.obs.metrics import MetricsRegistry, StatsView, get_registry
 # execution entry points live in the service layer now; re-exported
 # here for backwards compatibility (and for pool workers)
 from repro.service.executor import (        # noqa: F401
@@ -47,28 +48,43 @@ from repro.service.resolver import MemoLayer, ResolverChain, StoreLayer
 from repro.service.store import ResultStore, store_from_env
 
 
-@dataclass
-class RunnerStats:
-    """Where each requested run came from."""
+_runner_ids = itertools.count()
 
-    requested: int = 0
-    #: execution-driven simulations (each replay class executes exactly
-    #: one capture; its trace-driven members count in ``replayed``, so
-    #: ``executed + replayed`` is the number of summaries produced)
-    executed: int = 0
-    #: duplicate grid members folded onto a shared run
-    deduplicated: int = 0
-    #: served from this Runner's in-memory memo
-    memo_hits: int = 0
-    #: served from the on-disk store
-    cache_hits: int = 0
-    #: executed runs that also recorded a replayable trace
-    captured: int = 0
-    #: summaries produced by trace replay instead of execution
-    replayed: int = 0
-    #: specs whose simulation raised (a failed replay class counts
-    #: every member; see :class:`~repro.errors.ExperimentExecutionError`)
-    failed: int = 0
+
+class RunnerStats(StatsView):
+    """Where each requested run came from.
+
+    A view over ``repro_runner_events_total{runner=...,event=...}`` in
+    the metrics registry (see :class:`repro.obs.metrics.StatsView`).
+    """
+
+    #: requested -- specs submitted; executed -- execution-driven
+    #: simulations (each replay class executes exactly one capture; its
+    #: trace-driven members count in ``replayed``, so ``executed +
+    #: replayed`` is the number of summaries produced); deduplicated --
+    #: duplicate grid members folded onto a shared run; memo_hits --
+    #: served from this Runner's in-memory memo; cache_hits -- served
+    #: from the on-disk store; captured -- executed runs that also
+    #: recorded a replayable trace; replayed -- summaries produced by
+    #: trace replay instead of execution; failed -- specs whose
+    #: simulation raised (a failed replay class counts every member;
+    #: see :class:`~repro.errors.ExperimentExecutionError`)
+    FIELDS = ("requested", "executed", "deduplicated", "memo_hits",
+              "cache_hits", "captured", "replayed", "failed")
+
+    __slots__ = ("instance",)
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 instance: Optional[str] = None) -> None:
+        family = (registry if registry is not None
+                  else get_registry()).counter(
+            "repro_runner_events_total",
+            "Runner resolution outcomes", labels=("runner", "event"))
+        if instance is None:
+            instance = f"runner-{next(_runner_ids)}"
+        object.__setattr__(self, "instance", instance)
+        super().__init__({field: family.labels(runner=instance, event=field)
+                          for field in self.FIELDS})
 
     def __str__(self) -> str:
         extra = (f" ({self.captured} captured, {self.replayed} replayed)"
@@ -149,15 +165,18 @@ class Runner:
                  max_workers: Optional[int] = None,
                  parallel: bool = True,
                  replay: bool = False,
-                 store: Optional[ResultStore] = None) -> None:
+                 store: Optional[ResultStore] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 instance: Optional[str] = None) -> None:
         if store is None and cache_dir:
-            store = ResultStore(cache_dir)
+            store = ResultStore(cache_dir, registry=registry,
+                                instance=instance)
         #: the on-disk layer (``cache`` is the historical alias)
         self.store = self.cache = store
         self.max_workers = max_workers or os.cpu_count() or 1
         self.parallel = parallel and self.max_workers > 1
         self.replay = replay
-        self.stats = RunnerStats()
+        self.stats = RunnerStats(registry=registry, instance=instance)
         self._memo = MemoLayer()
         self._executor = BatchExecutor(planner_for(replay),
                                        max_workers=self.max_workers,

@@ -346,6 +346,23 @@ class MemoryHierarchy:
             "mem_accesses": self.mem_accesses,
         }
 
+    def cache_counters(self) -> dict[str, dict[str, int]]:
+        """Per-cache counters keyed by cache name (the metrics view).
+
+        L1 names carry their sequencer id (``L1#<seq_id>``), L2s their
+        creation index, so an observed run can attribute traffic to
+        individual caches, not just levels.
+        """
+        out: dict[str, dict[str, int]] = {}
+        for cache in list(self._l1s.values()) + self.l2s:
+            out[cache.name] = {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "invalidations": cache.invalidations,
+                "evictions": cache.evictions,
+            }
+        return out
+
     def describe(self) -> str:
         """Topology string, e.g. ``"L1x8 / L2x1 (8 shared)"``."""
         sharing = {}

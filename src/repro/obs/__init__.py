@@ -1,0 +1,22 @@
+"""Unified observability: metrics registry, span tracing, run observation.
+
+See :mod:`repro.obs.metrics` (registry + stats views),
+:mod:`repro.obs.spans` (wall-time span tracing with correlation ids),
+:mod:`repro.obs.observe` (instrumented simulation runs), and
+:mod:`repro.obs.perfetto` (Chrome-trace-event timeline export).
+"""
+
+from repro.obs.metrics import (
+    Counter, Family, Gauge, Histogram, MetricsRegistry, StatsView,
+    get_registry, new_run_id, set_registry,
+)
+from repro.obs.observe import ObservedRun
+from repro.obs.perfetto import export_run, trace_events, write_trace
+from repro.obs.spans import Span, SpanTracer
+
+__all__ = [
+    "Counter", "Family", "Gauge", "Histogram", "MetricsRegistry",
+    "StatsView", "get_registry", "new_run_id", "set_registry",
+    "ObservedRun", "export_run", "trace_events", "write_trace",
+    "Span", "SpanTracer",
+]

@@ -1,0 +1,120 @@
+"""Span tracing with correlation ids for the serving pipeline.
+
+A :class:`Span` is one timed phase of handling a request, tagged with
+the correlation id of the job it belongs to (``job id -> spec hash ->
+phase``).  The :class:`ExperimentService` opens spans around each
+resolution phase (``submit -> memo -> store -> plan -> execute ->
+backfill``), so "where did the wall-time of job X go" has a direct
+answer: ``tracer.by_name()`` for the fleet view,
+``JobHandle.metrics()`` for one job.
+
+Spans measure *wall* time (``time.perf_counter``) -- the serving
+stack's phases are host work, unlike the simulated-cycle intervals
+:class:`repro.sim.trace.TraceLog` records.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = ["Span", "SpanTracer"]
+
+_span_ids = itertools.count(1)
+
+
+class Span:
+    """One finished (or in-progress) timed phase."""
+
+    __slots__ = ("name", "correlation", "span_id", "parent_id",
+                 "start", "end", "attrs")
+
+    def __init__(self, name: str, correlation: str,
+                 parent_id: Optional[int] = None, **attrs) -> None:
+        self.name = name
+        self.correlation = correlation
+        self.span_id = next(_span_ids)
+        self.parent_id = parent_id
+        self.start = time.perf_counter()
+        self.end: Optional[float] = None
+        self.attrs = attrs
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to finish (to now while still open)."""
+        end = self.end if self.end is not None else time.perf_counter()
+        return end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "correlation": self.correlation,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "duration": self.duration,
+            **({"attrs": self.attrs} if self.attrs else {}),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Span {self.name} corr={self.correlation} "
+                f"{self.duration * 1e3:.2f}ms>")
+
+
+class SpanTracer:
+    """Thread-safe collector of finished spans.
+
+    ``max_spans`` bounds memory on a long-lived service (oldest spans
+    fall off); the default keeps plenty for any single report run.
+    Nesting is tracked per thread: a span opened inside another on the
+    same thread records it as parent.
+    """
+
+    def __init__(self, max_spans: int = 10_000) -> None:
+        self._lock = threading.Lock()
+        self._finished: deque[Span] = deque(maxlen=max_spans)
+        self._active = threading.local()
+
+    @contextmanager
+    def span(self, name: str, correlation: str = "", **attrs
+             ) -> Iterator[Span]:
+        """Open a span; it finishes (and is collected) on exit."""
+        parent = getattr(self._active, "span", None)
+        sp = Span(name, correlation,
+                  parent_id=parent.span_id if parent else None, **attrs)
+        self._active.span = sp
+        try:
+            yield sp
+        finally:
+            self._active.span = parent
+            sp.end = time.perf_counter()
+            with self._lock:
+                self._finished.append(sp)
+
+    def finished(self, correlation: Optional[str] = None) -> list[Span]:
+        """Collected spans, optionally for one correlation id."""
+        with self._lock:
+            spans = list(self._finished)
+        if correlation is not None:
+            spans = [s for s in spans if s.correlation == correlation]
+        return spans
+
+    def by_name(self, correlation: Optional[str] = None
+                ) -> dict[str, tuple[int, float]]:
+        """Wall-time attribution: ``{phase: (count, total_seconds)}``."""
+        out: dict[str, tuple[int, float]] = {}
+        for sp in self.finished(correlation):
+            count, total = out.get(sp.name, (0, 0.0))
+            out[sp.name] = (count + 1, total + sp.duration)
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._finished)

@@ -39,7 +39,8 @@ from repro.service.service import (
     ExperimentService, JobHandle, ServiceStats, service_from_env,
 )
 from repro.service.store import (
-    STORE_VERSION, ResultStore, StoreStats, SweepReport, store_from_env,
+    STORE_VERSION, ResultStore, StoreStats, StoreStatsSnapshot,
+    SweepReport, store_from_env,
 )
 
 __all__ = [
@@ -51,6 +52,6 @@ __all__ = [
     "ChainResult", "MemoLayer", "ResolverChain", "ResolverLayer",
     "StoreLayer",
     "ExperimentService", "JobHandle", "ServiceStats", "service_from_env",
-    "STORE_VERSION", "ResultStore", "StoreStats", "SweepReport",
-    "store_from_env",
+    "STORE_VERSION", "ResultStore", "StoreStats", "StoreStatsSnapshot",
+    "SweepReport", "store_from_env",
 ]

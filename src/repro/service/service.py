@@ -28,45 +28,66 @@ memo), so the next request short-circuits as early as possible.
 
 from __future__ import annotations
 
+import contextlib
+import itertools
 import os
 import queue
 import threading
 from concurrent.futures import Future
-from dataclasses import dataclass
 from functools import partial
 from typing import (
-    TYPE_CHECKING, Callable, Iterable, Optional, Sequence, Union,
+    TYPE_CHECKING, Callable, Iterable, Iterator, Optional, Sequence, Union,
 )
 
+from repro.obs.metrics import (
+    MetricsRegistry, StatsView, get_registry, new_run_id,
+)
+from repro.obs.spans import SpanTracer
 from repro.service.executor import ExecutionBackend
 from repro.service.inflight import InflightTable
 from repro.service.planner import planner_for
 from repro.service.resolver import MemoLayer, StoreLayer
-from repro.service.store import ResultStore, StoreStats, store_from_env
+from repro.service.store import (
+    ResultStore, StoreStatsSnapshot, store_from_env,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.runner import ExperimentResult
     from repro.experiments.spec import ExperimentSpec, RunSpec
     from repro.experiments.summary import RunSummary
 
+_service_ids = itertools.count()
 
-@dataclass
-class ServiceStats:
-    """Where the service's runs came from, across all jobs."""
 
-    requested: int = 0
-    #: duplicate members within submitted grids
-    deduplicated: int = 0
-    memo_hits: int = 0
-    store_hits: int = 0
-    #: specs folded onto an execution another job already had in flight
-    inflight_joined: int = 0
+class ServiceStats(StatsView):
+    """Where the service's runs came from, across all jobs.
+
+    A view over ``repro_service_events_total{service=...,event=...}``
+    in the metrics registry (see :class:`repro.obs.metrics.StatsView`).
+    """
+
+    #: requested -- grid members submitted; deduplicated -- duplicate
+    #: members within submitted grids; inflight_joined -- specs folded
+    #: onto an execution another job already had in flight; executed --
     #: execution-driven simulations (replay-group captures included)
-    executed: int = 0
-    captured: int = 0
-    replayed: int = 0
-    failed: int = 0
-    jobs: int = 0
+    FIELDS = ("requested", "deduplicated", "memo_hits", "store_hits",
+              "inflight_joined", "executed", "captured", "replayed",
+              "failed", "jobs")
+
+    __slots__ = ("instance",)
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 instance: Optional[str] = None) -> None:
+        family = (registry if registry is not None
+                  else get_registry()).counter(
+            "repro_service_events_total",
+            "ExperimentService resolution outcomes",
+            labels=("service", "event"))
+        if instance is None:
+            instance = f"service-{next(_service_ids)}"
+        object.__setattr__(self, "instance", instance)
+        super().__init__({field: family.labels(service=instance, event=field)
+                          for field in self.FIELDS})
 
     def __str__(self) -> str:
         return (f"{self.jobs} jobs / {self.requested} requested = "
@@ -88,18 +109,27 @@ class JobHandle:
     """
 
     def __init__(self, experiment: "ExperimentSpec",
-                 expected: int) -> None:
+                 expected: int, job_id: Optional[str] = None) -> None:
         self.experiment = experiment
         self.expected = expected
+        #: correlation id tagging this job's spans and metrics
+        self.job_id = job_id or new_run_id("job")
         self._queue: "queue.Queue" = queue.Queue()
         self._consumed = 0
         self._lock = threading.Lock()
         self._delivered = 0
         self._results: dict[str, "RunSummary"] = {}
         self._failures: list[tuple["RunSpec", BaseException]] = []
+        #: wall seconds per resolution phase (memo/store/plan/...)
+        self._phase_seconds: dict[str, float] = {}
         self._done = threading.Event()
         if expected == 0:
             self._done.set()
+
+    def _note_phase(self, name: str, seconds: float) -> None:
+        with self._lock:
+            self._phase_seconds[name] = (
+                self._phase_seconds.get(name, 0.0) + seconds)
 
     # -- delivery (service side) ---------------------------------------
     def _deliver(self, key: str, summary: "RunSummary") -> None:
@@ -153,6 +183,25 @@ class JobHandle:
             if item is not None:
                 yield item
 
+    def metrics(self) -> dict:
+        """Observability snapshot of this job: correlation id, delivery
+        progress, and wall-time attribution per resolution phase.
+
+        ``phases`` maps each pipeline phase the service ran for this
+        job (``submit``/``memo``/``store``/``plan``/``execute``/
+        ``backfill``) to wall seconds spent in it.
+        """
+        with self._lock:
+            return {
+                "job_id": self.job_id,
+                "experiment": self.experiment.name,
+                "expected": self.expected,
+                "delivered": self._delivered,
+                "failed": len(self._failures),
+                "done": self._done.is_set(),
+                "phases": dict(self._phase_seconds),
+            }
+
     def result(self, timeout: Optional[float] = None) -> "ExperimentResult":
         """Block until the whole grid resolved; raise if any run failed."""
         from repro.errors import ExperimentExecutionError
@@ -183,20 +232,29 @@ class ExperimentService:
                  max_workers: Optional[int] = None,
                  parallel: bool = True,
                  replay: bool = False,
-                 run_group_fn: Optional[Callable] = None) -> None:
+                 run_group_fn: Optional[Callable] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 instance: Optional[str] = None,
+                 tracer: Optional[SpanTracer] = None) -> None:
+        if instance is None:
+            instance = f"service-{next(_service_ids)}"
         if store is not None and not isinstance(store, ResultStore):
-            store = ResultStore(store)
+            store = ResultStore(store, registry=registry,
+                                instance=instance)
         self.store: Optional[ResultStore] = store
         self.replay = replay
         self.memo = MemoLayer()
         self.store_layer = (StoreLayer(store, replay=replay)
                             if store is not None else None)
-        self.inflight = InflightTable()
+        self.inflight = InflightTable(registry=registry, instance=instance)
         self.planner = planner_for(replay)
         self.backend = ExecutionBackend(max_workers=max_workers,
                                         parallel=parallel,
                                         run_group_fn=run_group_fn)
-        self.stats = ServiceStats()
+        #: span tracer attributing wall time to pipeline phases; share
+        #: one tracer across services to aggregate a whole deployment
+        self.tracer = tracer or SpanTracer()
+        self.stats = ServiceStats(registry=registry, instance=instance)
         self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -214,15 +272,16 @@ class ExperimentService:
         for spec in experiment.runs:
             unique.setdefault(spec.spec_hash(), spec)
         job = JobHandle(experiment, expected=len(unique))
-        with self._stats_lock:
-            self.stats.jobs += 1
-            self.stats.requested += len(experiment.runs)
-            self.stats.deduplicated += len(experiment.runs) - len(unique)
-        worker = threading.Thread(target=self._run_job,
-                                  args=(job, unique),
-                                  name=f"repro-job-{self.stats.jobs}",
-                                  daemon=True)
-        worker.start()
+        with self._phase(job, "submit"):
+            with self._stats_lock:
+                self.stats.jobs += 1
+                self.stats.requested += len(experiment.runs)
+                self.stats.deduplicated += len(experiment.runs) - len(unique)
+            worker = threading.Thread(target=self._run_job,
+                                      args=(job, unique),
+                                      name=f"repro-{job.job_id}",
+                                      daemon=True)
+            worker.start()
         return job
 
     def run_experiment(self,
@@ -233,7 +292,7 @@ class ExperimentService:
         """Synchronous convenience: ``submit(...).result(...)``."""
         return self.submit(experiment).result(timeout)
 
-    def store_stats(self) -> Optional[StoreStats]:
+    def store_stats(self) -> Optional[StoreStatsSnapshot]:
         """Snapshot of the backing store's hit/miss/evict/corrupt
         counters (None when the service runs store-less)."""
         return self.store.stats.snapshot() if self.store else None
@@ -266,23 +325,34 @@ class ExperimentService:
                 if key not in resolved and key not in failed:
                     job._deliver_failure(spec, exc)
 
+    @contextlib.contextmanager
+    def _phase(self, job: JobHandle, name: str) -> Iterator[None]:
+        """Span one pipeline phase for ``job`` (correlation = job id)
+        and fold its wall time into the job's phase attribution."""
+        with self.tracer.span(name, correlation=job.job_id,
+                              experiment=job.experiment.name) as sp:
+            yield
+        job._note_phase(name, sp.duration)
+
     def _resolve_job(self, job: JobHandle,
                      unique: dict[str, "RunSpec"]) -> None:
         specs = list(unique.values())
 
         # 1. in-process memo
-        hits, remaining = self.memo.resolve(specs)
-        self._count(memo_hits=len(hits))
-        for key, summary in hits.items():
-            job._deliver(key, summary)
+        with self._phase(job, "memo"):
+            hits, remaining = self.memo.resolve(specs)
+            self._count(memo_hits=len(hits))
+            for key, summary in hits.items():
+                job._deliver(key, summary)
 
         # 2. content-addressed store (backfills the memo)
         if self.store_layer is not None and remaining:
-            hits, remaining = self.store_layer.resolve(remaining)
-            self._count(store_hits=len(hits))
-            for key, summary in hits.items():
-                self.memo.store(unique[key], summary)
-                job._deliver(key, summary)
+            with self._phase(job, "store"):
+                hits, remaining = self.store_layer.resolve(remaining)
+                self._count(store_hits=len(hits))
+                for key, summary in hits.items():
+                    self.memo.store(unique[key], summary)
+                    job._deliver(key, summary)
 
         if not remaining:
             return
@@ -306,24 +376,27 @@ class ExperimentService:
 
         # 4. execute what this job owns
         if owned:
-            self._execute_owned(
-                [unique[key] for key in owned])
+            self._execute_owned(job, [unique[key] for key in owned])
 
-    def _execute_owned(self, specs: Sequence["RunSpec"]) -> None:
-        groups = self.planner.plan(specs)
-        if self.backend.parallel:
-            futures = {self.backend.submit_group(group): group
-                       for group in groups}
-            from concurrent.futures import as_completed
-            for future in as_completed(futures):
-                self._settle_group(futures[future], future)
-        else:
-            # inline execution: each group resolves -- and streams to
-            # every waiting job -- before the next one starts
-            for group in groups:
-                self._settle_group(group, self.backend.submit_group(group))
+    def _execute_owned(self, job: JobHandle,
+                       specs: Sequence["RunSpec"]) -> None:
+        with self._phase(job, "plan"):
+            groups = self.planner.plan(specs)
+        with self._phase(job, "execute"):
+            if self.backend.parallel:
+                futures = {self.backend.submit_group(group): group
+                           for group in groups}
+                from concurrent.futures import as_completed
+                for future in as_completed(futures):
+                    self._settle_group(job, futures[future], future)
+            else:
+                # inline execution: each group resolves -- and streams
+                # to every waiting job -- before the next one starts
+                for group in groups:
+                    self._settle_group(job, group,
+                                       self.backend.submit_group(group))
 
-    def _settle_group(self, group: Sequence["RunSpec"],
+    def _settle_group(self, job: JobHandle, group: Sequence["RunSpec"],
                       future: Future) -> None:
         try:
             summaries = future.result()
@@ -332,12 +405,14 @@ class ExperimentService:
             for spec in group:
                 self.inflight.fail(spec.spec_hash(), exc)
             return
-        for spec, summary in zip(group, summaries):
-            self.memo.store(spec, summary)
-            if self.store_layer is not None:
-                self.store_layer.store(spec, summary)
-            # resolving the future delivers to this job and every joiner
-            self.inflight.resolve(spec.spec_hash(), summary)
+        with self._phase(job, "backfill"):
+            for spec, summary in zip(group, summaries):
+                self.memo.store(spec, summary)
+                if self.store_layer is not None:
+                    self.store_layer.store(spec, summary)
+                # resolving the future delivers to this job and every
+                # joiner
+                self.inflight.resolve(spec.spec_hash(), summary)
         self._count(executed=1,
                     captured=1 if len(group) > 1 else 0,
                     replayed=len(group) - 1)

@@ -34,7 +34,7 @@ can never alias the execution-driven numbers for the same spec.
 
 from __future__ import annotations
 
-import dataclasses
+import itertools
 import json
 import os
 import tempfile
@@ -42,6 +42,8 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry, StatsView, get_registry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     # imported lazily at runtime: repro.experiments imports this module
@@ -63,20 +65,13 @@ TMP_GRACE_SECONDS = 60.0
 QUARANTINE_SUFFIX = ".corrupt"
 
 
-@dataclass
-class StoreStats:
-    """Counter snapshot of one :class:`ResultStore`'s traffic."""
+_store_ids = itertools.count()
 
-    hits: int = 0
-    misses: int = 0
-    #: unreadable or mis-addressed entries found (and quarantined)
-    corrupt: int = 0
-    #: entries removed to enforce the size bound
-    evictions: int = 0
-    #: summaries written
-    puts: int = 0
-    #: orphaned ``*.tmp`` files reclaimed
-    tmp_reclaimed: int = 0
+
+class _StoreStatsMixin:
+    """Derived rates and formatting shared by live view and snapshot."""
+
+    __slots__ = ()
 
     @property
     def lookups(self) -> int:
@@ -87,15 +82,55 @@ class StoreStats:
         """Fraction of lookups served from the store."""
         return self.hits / self.lookups if self.lookups else 0.0
 
-    def snapshot(self) -> "StoreStats":
-        """An independent copy (the live object keeps counting)."""
-        return dataclasses.replace(self)
-
     def __str__(self) -> str:
         return (f"store: {self.hits} hits / {self.misses} misses "
                 f"({self.hit_rate * 100:.1f}% hit rate), "
                 f"{self.corrupt} corrupt, {self.evictions} evicted, "
                 f"{self.puts} puts")
+
+
+@dataclass(frozen=True)
+class StoreStatsSnapshot(_StoreStatsMixin):
+    """An independent point-in-time copy of a store's counters."""
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    evictions: int = 0
+    puts: int = 0
+    tmp_reclaimed: int = 0
+
+
+class StoreStats(_StoreStatsMixin, StatsView):
+    """Counters of one :class:`ResultStore`'s traffic.
+
+    A view over one labeled family in the metrics registry
+    (``repro_store_events_total{store=<instance>,event=...}``):
+    attribute reads and ``stats.hits += 1`` mutations hit the registry
+    counters directly, so the store's own numbers and the exported
+    metrics can never disagree.
+    """
+
+    FIELDS = ("hits", "misses", "corrupt", "evictions", "puts",
+              "tmp_reclaimed")
+
+    __slots__ = ("instance",)
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 instance: Optional[str] = None) -> None:
+        family = (registry if registry is not None
+                  else get_registry()).counter(
+            "repro_store_events_total",
+            "ResultStore traffic by outcome", labels=("store", "event"))
+        if instance is None:
+            instance = f"store-{next(_store_ids)}"
+        object.__setattr__(self, "instance", instance)
+        super().__init__({field: family.labels(store=instance, event=field)
+                          for field in self.FIELDS})
+
+    def snapshot(self) -> StoreStatsSnapshot:
+        """An independent copy (the live object keeps counting)."""
+        return StoreStatsSnapshot(**self.as_dict())
 
 
 @dataclass(frozen=True)
@@ -118,7 +153,9 @@ class ResultStore:
 
     def __init__(self, root: Union[str, Path],
                  max_entries: Optional[int] = None,
-                 max_bytes: Optional[int] = None) -> None:
+                 max_bytes: Optional[int] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 instance: Optional[str] = None) -> None:
         if max_entries is not None and max_entries <= 0:
             raise ValueError(f"max_entries must be positive: {max_entries}")
         if max_bytes is not None and max_bytes <= 0:
@@ -126,7 +163,9 @@ class ResultStore:
         self.root = Path(root).expanduser()
         self.max_entries = max_entries
         self.max_bytes = max_bytes
-        self.stats = StoreStats()
+        #: ``instance`` names this store's metric labels (a correlation
+        #: id ties it to the run that owns it); default is process-unique
+        self.stats = StoreStats(registry=registry, instance=instance)
         self.root.mkdir(parents=True, exist_ok=True)
         self._reclaim_tmp()
 
@@ -335,15 +374,18 @@ class ResultStore:
             self.stats.evictions += 1
 
 
-def store_from_env(root: Union[str, Path]) -> ResultStore:
+def store_from_env(root: Union[str, Path],
+                   instance: Optional[str] = None) -> ResultStore:
     """A :class:`ResultStore` at ``root`` honouring the documented
     environment bounds: ``REPRO_STORE_MAX_ENTRIES`` and
     ``REPRO_STORE_MAX_BYTES`` cap the store (least-recently-used
-    eviction); unset means unbounded."""
+    eviction); unset means unbounded.  ``instance`` labels the store's
+    metrics (see :class:`StoreStats`)."""
     max_entries = os.environ.get("REPRO_STORE_MAX_ENTRIES")
     max_bytes = os.environ.get("REPRO_STORE_MAX_BYTES")
     return ResultStore(
         root,
         max_entries=int(max_entries) if max_entries else None,
         max_bytes=int(max_bytes) if max_bytes else None,
+        instance=instance,
     )

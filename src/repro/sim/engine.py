@@ -91,6 +91,11 @@ class Engine:
         return self._executed
 
     @property
+    def events_scheduled(self) -> int:
+        """Number of events ever scheduled (seqnos are dense from 0)."""
+        return self._next_seqno
+
+    @property
     def current_seqno(self) -> int:
         """Seqno of the executing event (-1 when not inside a callback)."""
         return self._current_seqno

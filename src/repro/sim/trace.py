@@ -91,6 +91,19 @@ class TraceLog:
         if self.record_fine:
             self._records.append(TraceRecord(start, end, sequencer, kind, detail))
 
+    def instant(self, time: int, sequencer: int, kind: EventKind,
+                detail: str = "") -> None:
+        """Record a point event (zero-duration interval).
+
+        With ``record_fine`` off this is exactly :meth:`count` plus one
+        branch -- cheap enough for the machine's serializing-event
+        paths to call unconditionally, which is what makes a timeline
+        export possible the moment observation turns fine records on.
+        """
+        self.count(sequencer, kind)
+        if self.record_fine:
+            self._records.append(TraceRecord(time, time, sequencer, kind, detail))
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

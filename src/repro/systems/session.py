@@ -47,6 +47,8 @@ class Session:
         self._background = 0
         self._capture = False
         self._timing: Union[str, TimingModel, type] = "fixed"
+        #: (registry, run_id) when observation is requested, else None
+        self._observe: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Knobs (each returns a new Session)
@@ -129,6 +131,22 @@ class Session:
         new._capture = enabled
         return new
 
+    def observe(self, enabled: bool = True, *, registry=None,
+                run_id: Optional[str] = None) -> "Session":
+        """Instrument the run with the observability layer.
+
+        An observed run wraps the timing charge path in op/cycle
+        counters, turns on fine-grained trace records (timeline
+        export), timestamps ShredLib contention, and pumps everything
+        into a metrics registry (default: the process-wide one from
+        :func:`repro.obs.get_registry`) under one correlation id.  The
+        :class:`~repro.obs.observe.ObservedRun` rides back on
+        ``RunResult.obs``.  Un-observed sessions pay nothing.
+        """
+        new = self._clone()
+        new._observe = (registry, run_id) if enabled else None
+        return new
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -178,6 +196,12 @@ class Session:
         # model (a fresh instance per run) attaches here
         timing_model = resolve_timing(self._timing)
         machine.set_timing(timing_model)
+        obs = None
+        if self._observe is not None:
+            from repro.obs.observe import ObservedRun
+            registry, run_id = self._observe
+            obs = ObservedRun(registry=registry, run_id=run_id)
+            machine.enable_observation(obs)
         cap = None
         if self._capture:
             if not backend.supports_capture:
@@ -195,6 +219,8 @@ class Session:
         staged = backend.stage(machine, workload, config=config,
                                policy=self._policy,
                                background=self._background)
+        if obs is not None:
+            obs.attach_runtime(staged.runtime)
         limit = self._limit if self._limit is not None else backend.default_limit
         cycles = backend.drive(staged, limit)
         trace = None
@@ -203,9 +229,14 @@ class Session:
             machine.engine.set_recorder(None)
             trace = CapturedTrace.from_machine(machine, cap,
                                                staged.process.pid)
+        if obs is not None:
+            obs.finish(cycles=cycles, runtime=staged.runtime,
+                       workload=workload.name, system=backend.name,
+                       config=config)
         return RunResult(workload.name, backend.name, config, cycles,
                          machine, staged.runtime, staged.main_thread,
-                         background=self._background, trace=trace)
+                         background=self._background, trace=trace,
+                         obs=obs)
 
     def __repr__(self) -> str:
         try:

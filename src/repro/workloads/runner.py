@@ -61,6 +61,9 @@ class RunResult:
     background: int = 0
     #: captured execution trace (Session.capture() runs only)
     trace: Optional["CapturedTrace"] = None
+    #: observability state (Session.observe() runs only); a
+    #: repro.obs.observe.ObservedRun with the run's correlation id
+    obs: Optional[object] = None
 
     # ------------------------------------------------------------------
     # Event accounting (the Table 1 view of this run)
