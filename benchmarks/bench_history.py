@@ -1,0 +1,86 @@
+"""Append a benchmark run to the committed performance history.
+
+``BENCH_history.jsonl`` holds one JSON line per recorded run -- the
+commit, timestamp, python version, and the median seconds of every
+benchmark -- so the repo carries its own performance trajectory
+instead of scattering it across CI artifacts.  CI appends the current
+run after the bench job; regenerating the baseline appends a point
+the same way.
+
+Usage::
+
+    python benchmarks/bench_history.py BENCH_abc123.json
+    python benchmarks/bench_history.py out.json --history BENCH_history.jsonl
+    python benchmarks/bench_history.py out.json --sha baseline
+
+Appends are idempotent per sha: re-running on a sha already present
+rewrites that entry in place rather than duplicating it.
+"""
+
+import argparse
+import json
+import os
+from typing import Optional, Sequence
+
+
+def _sha_of(data: dict, path: str, override: Optional[str]) -> str:
+    if override:
+        return override
+    commit = (data.get("commit_info") or {}).get("id")
+    if commit:
+        return str(commit)[:10]
+    stem = os.path.splitext(os.path.basename(path))[0]
+    return stem[len("BENCH_"):] if stem.startswith("BENCH_") else stem
+
+
+def history_entry(path: str, sha: Optional[str] = None) -> dict:
+    """One history line for a pytest-benchmark JSON file."""
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    machine = data.get("machine_info") or {}
+    return {
+        "sha": _sha_of(data, path, sha),
+        "recorded": data.get("datetime"),
+        "python": machine.get("python_version"),
+        "scale": os.environ.get("REPRO_BENCH_SCALE"),
+        "medians": dict(sorted(
+            (bench["name"], round(bench["stats"]["median"], 6))
+            for bench in data.get("benchmarks", []))),
+    }
+
+
+def append_history(entry: dict, history_path: str) -> int:
+    """Insert or replace ``entry`` by sha; returns the entry count."""
+    entries = []
+    if os.path.exists(history_path):
+        with open(history_path, encoding="utf-8") as handle:
+            entries = [json.loads(line) for line in handle if line.strip()]
+    entries = [e for e in entries if e.get("sha") != entry["sha"]]
+    entries.append(entry)
+    with open(history_path, "w", encoding="utf-8") as handle:
+        for item in entries:
+            handle.write(json.dumps(item, sort_keys=True) + "\n")
+    return len(entries)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json", help="pytest-benchmark JSON file")
+    parser.add_argument("--history", default=os.path.join(
+                            os.path.dirname(__file__), os.pardir,
+                            "BENCH_history.jsonl"),
+                        help="history file to append to "
+                             "(default: repo BENCH_history.jsonl)")
+    parser.add_argument("--sha", default=None,
+                        help="commit id for the entry (default: the "
+                             "file's commit_info, else its filename)")
+    args = parser.parse_args(argv)
+    entry = history_entry(args.bench_json, sha=args.sha)
+    count = append_history(entry, args.history)
+    print(f"[{entry['sha']}] {len(entry['medians'])} benchmark medians "
+          f"-> {os.path.normpath(args.history)} ({count} entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,6 +6,13 @@ regresses by more than the threshold.  Benchmarks present in only one
 file are reported but never fail the comparison, so adding or
 retiring a benchmark does not break CI.
 
+When bottleneck-analysis snapshots accompany the benchmark files
+(``--analysis-baseline`` / ``--analysis-candidate``, written by
+``python -m repro.analysis.report --analyze-out``), a failed
+comparison also prints *where* the cycles went -- the stall-class and
+per-run attribution from :mod:`repro.obs.diff` -- instead of just the
+wall-clock ratio.
+
 Usage::
 
     python benchmarks/compare_bench.py BENCH_baseline.json BENCH_new.json
@@ -14,6 +21,8 @@ Usage::
 
 import argparse
 import json
+import os
+import sys
 from typing import Optional, Sequence
 
 
@@ -24,6 +33,27 @@ def load_medians(path: str) -> dict:
             for bench in data["benchmarks"]}
 
 
+def attribution_hint(baseline: str, candidate: str) -> Optional[str]:
+    """Cycle attribution for a regression, from analysis snapshots.
+
+    Returns the :func:`repro.obs.diff.format_diff` report when both
+    snapshot files exist and parse, else ``None`` -- the hint is
+    best-effort and must never turn a perf gate into an import error.
+    """
+    try:
+        sys.path.insert(0, os.path.join(os.path.dirname(__file__),
+                                        os.pardir, "src"))
+        from repro.obs.diff import diff_analyses, format_diff
+        with open(baseline, encoding="utf-8") as handle:
+            doc_a = json.load(handle)
+        with open(candidate, encoding="utf-8") as handle:
+            doc_b = json.load(handle)
+        return format_diff(diff_analyses(doc_a, doc_b, label_a=baseline,
+                                         label_b=candidate))
+    except Exception as exc:  # noqa: BLE001 - hint only, report why
+        return f"(no attribution hint: {exc})"
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="baseline benchmark JSON")
@@ -31,6 +61,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="fail when a median regresses by more than "
                              "this fraction (default 0.25 = +25%%)")
+    parser.add_argument("--analysis-baseline", default=None, metavar="FILE",
+                        help="bottleneck-analysis JSON for the baseline "
+                             "(report --analyze-out); used to attribute "
+                             "a failed comparison to stall classes")
+    parser.add_argument("--analysis-candidate", default=None, metavar="FILE",
+                        help="bottleneck-analysis JSON for the candidate")
     args = parser.parse_args(argv)
 
     base = load_medians(args.baseline)
@@ -57,6 +93,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) regressed beyond "
               f"{args.threshold * 100:.0f}%: {', '.join(regressions)}")
+        if args.analysis_baseline and args.analysis_candidate:
+            hint = attribution_hint(args.analysis_baseline,
+                                    args.analysis_candidate)
+            if hint:
+                print("\nwhere the cycles went (simulated-cycle "
+                      "attribution, repro.obs.diff):")
+                print(hint)
+        else:
+            print("for cycle-level attribution, generate analysis "
+                  "snapshots with 'python -m repro.analysis.report "
+                  "--smoke --analyze --analyze-out FILE' and re-run "
+                  "with --analysis-baseline/--analysis-candidate")
         return 1
     print(f"\nno benchmark regressed beyond {args.threshold * 100:.0f}% "
           f"({len(shared)} compared)")

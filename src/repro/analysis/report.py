@@ -163,6 +163,76 @@ def _observed_timeline(names: Sequence[str], scale: Optional[float],
         events=len(doc["traceEvents"]), cycles=result.cycles)
 
 
+#: the Figure 4 smoke grid the bottleneck analysis sweeps: each
+#: workload on the paper's three system shapes
+_ANALYZE_SYSTEMS = (("1p", "smp1"), ("misp", "1x8"), ("smp", "smp8"))
+
+
+def _parse_params(pairs: Optional[Sequence[str]]) -> dict:
+    """``--param KEY=VALUE`` pairs as MachineParams field overrides."""
+    changes: dict = {}
+    for pair in pairs or ():
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--param expects KEY=VALUE, got {pair!r}")
+        try:
+            changes[key] = int(value)
+        except ValueError:
+            changes[key] = float(value)
+    return changes
+
+
+def _bottleneck_analysis(names: Sequence[str], scale: Optional[float],
+                         timing: str = "fixed",
+                         params: Optional[dict] = None,
+                         emitter: Optional[ReportEmitter] = None) -> dict:
+    """Run the Figure 4 grid and attribute every run's cycles.
+
+    Each run captures its event-dependency trace when the backend and
+    timing model support it (critical path + exact stall attribution);
+    otherwise it falls back to an observed run (live stall accounts,
+    no critical path) with a one-line notice.  The returned document
+    is deterministic -- no run ids, keys sorted -- so two invocations
+    at the same scale diff cleanly.
+    """
+    from repro.obs.critpath import analyze_result
+    from repro.systems import Session
+    from repro.timing.base import resolve_timing
+
+    runs: dict = {}
+    noticed = False
+    for workload in names:
+        for system, config in _ANALYZE_SYSTEMS:
+            session = Session(system, config).timing(timing)
+            if params:
+                session = session.params(**params)
+            backend, _ = session.resolve()
+            model = resolve_timing(timing)
+            if backend.supports_capture and model.supports_capture:
+                session = session.capture()
+            else:
+                if not noticed and emitter is not None:
+                    emitter.emit(
+                        f"[analyze: '{timing}' timing does not support "
+                        "trace capture; attributing from observed stall "
+                        "accounts (no critical path)]", kind="notice",
+                        timing=timing)
+                noticed = True
+                session = session.observe()
+            result = session.run(workload, scale=scale)
+            # totals/by_class stay exact; only the listed segments are
+            # bounded, keeping multi-run snapshot files commit-sized
+            doc = analyze_result(result, max_segments=64)
+            runs[f"{workload}/{result.system}:{result.config}"] = doc
+    return {
+        "schema": "repro.analyze/1",
+        "timing": timing,
+        "scale": scale,
+        "params": dict(sorted(params.items())) if params else {},
+        "runs": dict(sorted(runs.items())),
+    }
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=None,
@@ -207,7 +277,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="run one observed MISP simulation and write "
                              "its Perfetto/Chrome timeline JSON "
                              "[REPRO_OBS_TRACE_OUT]")
+    parser.add_argument("--analyze", action="store_true",
+                        help="run the Figure 4 grid with trace capture "
+                             "and print critical-path / stall-class "
+                             "bottleneck attribution per run")
+    parser.add_argument("--analyze-out", default=None, metavar="FILE",
+                        help="write the bottleneck analysis as JSON "
+                             "(deterministic; diffable with --diff)")
+    parser.add_argument("--timing", default="fixed",
+                        help="timing model for --analyze runs (models "
+                             "that cannot capture fall back to observed "
+                             "attribution)")
+    parser.add_argument("--param", action="append", default=None,
+                        metavar="KEY=VALUE",
+                        help="MachineParams override for --analyze runs "
+                             "(repeatable), e.g. --param mem_cost=600")
+    parser.add_argument("--diff", nargs=2, default=None,
+                        metavar=("A", "B"),
+                        help="attribute the cycle delta between two "
+                             "--analyze-out JSON files and exit")
     args = parser.parse_args(argv)
+    if args.diff:
+        from repro.obs.diff import diff_analyses, format_diff
+        path_a, path_b = args.diff
+        with open(path_a, encoding="utf-8") as fh:
+            doc_a = json.load(fh)
+        with open(path_b, encoding="utf-8") as fh:
+            doc_b = json.load(fh)
+        print(format_diff(diff_analyses(doc_a, doc_b,
+                                        label_a=path_a, label_b=path_b)))
+        return 0
     from repro.workloads import FIGURE4_ORDER
     names = list(args.workloads or FIGURE4_ORDER)
     scale = args.scale
@@ -231,6 +330,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     instance=emitter.run_id)
     full_report(names, scale, args.rt_scale, runner=runner,
                 service=service, emitter=emitter, smoke=args.smoke)
+    if args.analyze or args.analyze_out:
+        from repro.obs.critpath import format_analysis
+        emitter.section("Bottleneck attribution (critical path & stalls)")
+        analysis = _bottleneck_analysis(
+            names, scale, timing=args.timing,
+            params=_parse_params(args.param), emitter=emitter)
+        for key in analysis["runs"]:
+            emitter.emit(format_analysis(analysis["runs"][key]),
+                         kind="artifact", artifact="analysis", run_key=key)
+        if args.analyze_out:
+            with open(args.analyze_out, "w", encoding="utf-8") as fh:
+                json.dump(analysis, fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            emitter.emit(f"[analysis: {len(analysis['runs'])} runs -> "
+                         f"{args.analyze_out}]", kind="artifact",
+                         artifact="analysis", path=args.analyze_out,
+                         runs=len(analysis["runs"]))
     if args.trace_out:
         _observed_timeline(names, scale, emitter, args.trace_out)
     if args.metrics or args.metrics_out:

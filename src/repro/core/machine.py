@@ -47,8 +47,19 @@ from repro.mem.pagetable import vpn_of
 from repro.params import DEFAULT_PARAMS, PAGE_SIZE, MachineParams
 from repro.sim.engine import Engine
 from repro.sim.trace import EventKind, TraceLog
-from repro.timing.base import TimingModel
+from repro.timing.base import PARAM_CLASS, TimingModel
 from repro.timing.fixed import FixedTiming
+
+#: stall class for a privileged service's ``priv`` term when its cost
+#: is pinned by the workload (empty priv_coefs) and so carries no
+#: MachineParams coefficient to classify through PARAM_CLASS
+_KIND_CLASS = {
+    EventKind.PAGE_FAULT: "page_fault_service",
+    EventKind.SYSCALL: "syscall_service",
+    EventKind.TIMER: "timer_service",
+    EventKind.INTERRUPT: "interrupt_service",
+    EventKind.PROXY_BEGIN: "syscall_service",
+}
 
 
 class Machine:
@@ -99,6 +110,12 @@ class Machine:
 
     def _bind_timing(self) -> None:
         self.timing.bind(self)
+        if self._obs is not None:
+            # observed runs attribute priced cycles into the run's
+            # stall account; attach after bind (models hoist params
+            # there) and before the charge hoists below (models may
+            # attach by shadowing charge with a closure)
+            self.timing.attach_observation(self._obs)
         # hot-path hoists: one bound-method lookup per op, not an
         # attribute chain (these rebind on set_timing)
         charge = self.timing.charge
@@ -106,8 +123,10 @@ class Machine:
         if self._obs is not None:
             # observed runs count ops/cycles through a closure; when
             # observation is off the raw bound methods are installed
-            # and the charge path is untouched
-            charge = self._obs.wrap_charge(charge)
+            # and the charge path is untouched (models whose observed
+            # charge path already counts skip the generic wrapper)
+            if not self.timing.observation_counts_ops:
+                charge = self._obs.wrap_charge(charge)
             signal_cycles = self._obs.wrap_signal(signal_cycles)
         self._charge = charge
         self._signal_cycles = signal_cycles
@@ -532,6 +551,9 @@ class Machine:
         oms.busy = True
         self.trace.instant(t0, oms.seq_id, EventKind.RING_ENTER,
                            detail=kind.value)
+        svc_class = (PARAM_CLASS.get(priv_coefs[0][0], "syscall_service")
+                     if priv_coefs
+                     else _KIND_CLASS.get(kind, "syscall_service"))
 
         def stage_suspend() -> None:
             cap = self._cap
@@ -545,14 +567,23 @@ class Machine:
             if cap is not None:
                 for key, mult, div in priv_coefs:
                     cap.pend_coef(key, mult, div)
+                cap.pend_owner(oms.seq_id)
+            stalls = self.timing.stalls
+            if stalls is not None and priv:
+                stalls.note(oms.seq_id, svc_class, priv)
             self.engine.schedule(priv, stage_service, active)
 
         def stage_service(active: list[Sequencer]) -> None:
             if effect is not None:
                 effect()
             signal = self._signal_cycles(oms) if active else 0
-            if self._cap is not None and active:
-                self._cap.pend_coef("signal_cost")
+            cap = self._cap
+            if cap is not None:
+                if active:
+                    cap.pend_coef("signal_cost")
+                cap.pend_owner(oms.seq_id)
+            if signal:
+                self._note_signal(oms, signal)
             self.engine.schedule(signal, stage_resume, active)
 
         def stage_resume(active: list[Sequencer]) -> None:
@@ -573,10 +604,26 @@ class Machine:
             self._advance(oms)
 
         n_signals = pre_signals + (1 if oms.processor.active_amss() else 0)
-        if self._cap is not None and n_signals:
-            self._cap.pend_coef("signal_cost", n_signals)
-        self.engine.schedule(self._signal_cycles(oms, n_signals),
-                             stage_suspend)
+        sig0 = self._signal_cycles(oms, n_signals)
+        cap = self._cap
+        if cap is not None:
+            if n_signals:
+                cap.pend_coef("signal_cost", n_signals)
+            cap.pend_owner(oms.seq_id)
+        if sig0:
+            self._note_signal(oms, sig0)
+        self.engine.schedule(sig0, stage_suspend)
+
+    def _note_signal(self, seq: Sequencer, cost: int) -> None:
+        """Attribute a directly scheduled signal delay (Equations 1-3
+        stages, proxy egress) to the run's stall account, split by the
+        timing model (``fixed``: all signal; ``scoreboard``:
+        drain + refill)."""
+        stalls = self.timing.stalls
+        if stalls is not None:
+            for klass, cycles in self.timing.split_signal(cost):
+                if cycles:
+                    stalls.note(seq.seq_id, klass, cycles)
 
     # ------------------------------------------------------------------
     # Proxy execution (Equations 2 and 3)
@@ -601,8 +648,12 @@ class Machine:
         if cap is not None:
             request.cap_id = cap.proxy_raised()      # type: ignore[attr-defined]
             cap.pend_coef("signal_cost")
+            cap.pend_owner(ams.seq_id)
         # Equation 2, first signal: notify the OMS
-        self.engine.schedule(self._signal_cycles(ams), self._proxy_arrive,
+        sig = self._signal_cycles(ams)
+        if sig:
+            self._note_signal(ams, sig)
+        self.engine.schedule(sig, self._proxy_arrive,
                              ams.processor, request)
 
     def _proxy_arrive(self, proc: MISPProcessor, request: ProxyRequest) -> None:
@@ -747,6 +798,14 @@ class Machine:
             self._cap.pend_coef("context_switch_cost")
             if n_save:
                 self._cap.pend_coef("sequencer_state_save_cost", n_save)
+            self._cap.pend_owner(oms.seq_id)
+        stalls = self.timing.stalls
+        if stalls is not None:
+            stalls.note(oms.seq_id, "context_switch",
+                        self.params.context_switch_cost)
+            if n_save:
+                stalls.note(oms.seq_id, "state_save",
+                            n_save * self.params.sequencer_state_save_cost)
         self.engine.schedule(cost, self._finish_switch_in, cpu, new)
 
     def _finish_switch_in(self, cpu: int, thread: OSThread) -> None:

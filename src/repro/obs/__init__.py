@@ -2,10 +2,18 @@
 
 See :mod:`repro.obs.metrics` (registry + stats views),
 :mod:`repro.obs.spans` (wall-time span tracing with correlation ids),
-:mod:`repro.obs.observe` (instrumented simulation runs), and
-:mod:`repro.obs.perfetto` (Chrome-trace-event timeline export).
+:mod:`repro.obs.observe` (instrumented simulation runs),
+:mod:`repro.obs.perfetto` (Chrome-trace-event timeline export),
+:mod:`repro.obs.critpath` (critical-path / stall-taxonomy bottleneck
+attribution), and :mod:`repro.obs.diff` (run-diff regression
+attribution).
 """
 
+from repro.obs.critpath import (
+    analyze_observed, analyze_result, analyze_trace, busy_timeline,
+    critical_path, event_slack, event_times, format_analysis,
+)
+from repro.obs.diff import diff_analyses, format_diff
 from repro.obs.metrics import (
     Counter, Family, Gauge, Histogram, MetricsRegistry, StatsView,
     get_registry, new_run_id, set_registry,
@@ -19,4 +27,7 @@ __all__ = [
     "StatsView", "get_registry", "new_run_id", "set_registry",
     "ObservedRun", "export_run", "trace_events", "write_trace",
     "Span", "SpanTracer",
+    "analyze_observed", "analyze_result", "analyze_trace",
+    "busy_timeline", "critical_path", "event_slack", "event_times",
+    "format_analysis", "diff_analyses", "format_diff",
 ]

@@ -130,6 +130,28 @@ class Histogram:
     def sum(self) -> float:
         return self._sum
 
+    def percentile(self, q: Union[int, float]) -> float:
+        """Upper-bound estimate of the ``q``-th percentile (0..100).
+
+        Returns the smallest bucket bound whose cumulative count covers
+        ``q`` percent of observations -- the usual histogram-quantile
+        upper bound.  Observations beyond the largest bucket resolve to
+        ``inf``; an empty histogram returns ``0.0``.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile out of range: {q!r}")
+        with self._lock:
+            total = self._count
+            if total == 0:
+                return 0.0
+            rank = q * total / 100.0
+            cumulative = 0
+            for bound, n in zip(self._buckets, self._counts):
+                cumulative += n
+                if cumulative >= rank:
+                    return float(bound)
+        return float("inf")
+
     def _sample(self):
         buckets = {}
         cumulative = 0

@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.obs.metrics import MetricsRegistry, get_registry, new_run_id
+from repro.timing.base import StallAccount
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.machine import Machine
@@ -56,6 +57,9 @@ class ObservedRun:
         self.charged_cycles = 0
         self.signal_charges = 0
         self.signal_cycles = 0
+        #: stall-taxonomy account the timing model notes into
+        #: (Machine._bind_timing attaches it via attach_stalls)
+        self.stalls = StallAccount()
         self.finished = False
 
     # ------------------------------------------------------------------
@@ -118,6 +122,9 @@ class ObservedRun:
         machine = self.machine
         if machine is None:
             raise ValueError("ObservedRun was never bound to a machine")
+        # flush any deferred hot-path accumulators (timing models may
+        # bank stalls in private buffers via StallAccount.add_source)
+        self.stalls.settle()
         reg = self.registry
         run = self.run_id
 
@@ -158,6 +165,29 @@ class ObservedRun:
             self.charged_cycles)
         charged.labels(run=run, model=model, kind="signal").set(
             self.signal_cycles)
+
+        wall = cycles if cycles is not None else machine.now
+        stall = reg.counter(
+            "repro_stall_cycles_total",
+            "cycles by stall/serialization class (the taxonomy of "
+            "repro.timing.base.STALL_CLASSES)",
+            labels=("run", "seq", "class", "model"))
+        for (seq_id, klass), stall_cycles in self.stalls.items():
+            stall.labels(**{"run": run, "seq": str(seq_id),
+                            "class": klass, "model": model}).set(
+                stall_cycles)
+        per_seq = self.stalls.per_sequencer()
+        for seq in machine.sequencers:
+            accounted = sum(per_seq.get(seq.seq_id, {}).values())
+            susp = seq.suspended_cycles
+            if susp:
+                stall.labels(**{"run": run, "seq": str(seq.seq_id),
+                                "class": "suspended",
+                                "model": model}).set(susp)
+            idle = wall - max(seq.busy_cycles, accounted) - susp
+            if idle > 0:
+                stall.labels(**{"run": run, "seq": str(seq.seq_id),
+                                "class": "idle", "model": model}).set(idle)
 
         hier = reg.counter("repro_hierarchy_events_total",
                            "memory-hierarchy events by level",

@@ -14,7 +14,15 @@ Mapping:
   zero-duration records become ``i`` (instant) events -- ring
   transitions, proxy choreography, context switches, signals;
 * ShredLib sync contention becomes instant events on ``pid`` 1
-  ("shredlib"), one track per sync-object name.
+  ("shredlib"), one track per sync-object name;
+* when the run also *captured* its event graph
+  (``Session.capture()``), the export is enriched from it: per-
+  sequencer utilization and outstanding-event **counter tracks**
+  (``C`` events, from :func:`repro.obs.critpath.busy_timeline`) and a
+  **critical path** track (``pid`` 2) whose ``X`` slices -- named by
+  their dominant stall class -- are chained with ``s``/``f`` flow
+  events, so Perfetto draws the one chain of work that bounds the
+  run's wall time.
 
 Timestamps are simulation **cycles emitted as microseconds** -- the
 timeline is exact and deterministic (1 cycle = 1 us on screen), which
@@ -29,6 +37,7 @@ from typing import TYPE_CHECKING, Optional
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.machine import Machine
     from repro.shredlib.log import ShredLog
+    from repro.sim.captrace import CapturedTrace
     from repro.workloads.runner import RunResult
 
 __all__ = ["trace_events", "export_run", "write_trace"]
@@ -36,6 +45,10 @@ __all__ = ["trace_events", "export_run", "write_trace"]
 #: pid of the machine (sequencer) tracks and the runtime tracks
 _MACHINE_PID = 0
 _SHREDLIB_PID = 1
+_CRITPATH_PID = 2
+
+#: buckets for the utilization/outstanding counter tracks
+_COUNTER_BUCKETS = 64
 
 
 def _sequencer_names(machine: "Machine") -> dict[int, str]:
@@ -51,14 +64,66 @@ def _sequencer_names(machine: "Machine") -> dict[int, str]:
     return names
 
 
+def _capture_events(trace: "CapturedTrace",
+                    names: dict[int, str]) -> list[dict]:
+    """Counter tracks + critical-path track from a captured run."""
+    from repro.obs.critpath import (analyze_trace, busy_timeline,
+                                    event_times)
+    events: list[dict] = []
+    times = event_times(trace)
+    timeline = busy_timeline(trace, times, buckets=_COUNTER_BUCKETS)
+    width = timeline["bucket_cycles"]
+    for seq_id in sorted(timeline["per_seq"]):
+        label = names.get(seq_id, f"SEQ{seq_id}")
+        counter = f"utilization {label}"
+        for b, busy in enumerate(timeline["per_seq"][seq_id]):
+            events.append({"name": counter, "ph": "C",
+                           "pid": _MACHINE_PID, "tid": 0, "ts": b * width,
+                           "args": {"busy_permille":
+                                    busy * 1000 // width}})
+    for b, level in enumerate(timeline["outstanding"]):
+        events.append({"name": "outstanding events", "ph": "C",
+                       "pid": _MACHINE_PID, "tid": 0, "ts": b * width,
+                       "args": {"count": level}})
+
+    analysis = analyze_trace(trace)
+    segments = analysis["critical_path"]["segments"]
+    if not segments:
+        return events
+    events.append({"name": "process_name", "ph": "M",
+                   "pid": _CRITPATH_PID, "tid": 0,
+                   "args": {"name": "critical path"}})
+    events.append({"name": "thread_name", "ph": "M",
+                   "pid": _CRITPATH_PID, "tid": 0,
+                   "args": {"name": "critical path"}})
+    for k, seg in enumerate(segments):
+        owner = seg["seq"]
+        events.append({"name": seg["class"], "cat": "critpath",
+                       "ph": "X", "pid": _CRITPATH_PID, "tid": 0,
+                       "ts": seg["start"], "dur": seg["cycles"],
+                       "args": {"seqno": seg["seqno"],
+                                "seq": names.get(owner,
+                                                 f"SEQ{owner}")
+                                if owner >= 0 else "machine"}})
+        if k + 1 < len(segments):
+            flow = {"cat": "critpath", "name": "crit", "id": k,
+                    "pid": _CRITPATH_PID, "tid": 0}
+            events.append({**flow, "ph": "s", "ts": seg["end"]})
+            events.append({**flow, "ph": "f", "bp": "e",
+                           "ts": segments[k + 1]["start"]})
+    return events
+
+
 def trace_events(machine: "Machine",
                  shred_log: Optional["ShredLog"] = None,
-                 run_id: str = "") -> list[dict]:
+                 run_id: str = "",
+                 trace: Optional["CapturedTrace"] = None) -> list[dict]:
     """Build the Chrome ``traceEvents`` list for one finished run.
 
     Requires fine-grained trace records (``Session.observe(...)`` or
     ``record_fine_trace=True``); with none recorded the result is just
-    the metadata tracks.
+    the metadata tracks.  Passing the run's captured event graph as
+    ``trace`` adds the counter tracks and the critical-path track.
     """
     events: list[dict] = []
     names = _sequencer_names(machine)
@@ -102,6 +167,9 @@ def trace_events(machine: "Machine",
             events.append({"name": f"contention:{obj}", "cat": "contention",
                            "ph": "i", "s": "t", "pid": _SHREDLIB_PID,
                            "tid": tid, "ts": cycle})
+
+    if trace is not None:
+        events.extend(_capture_events(trace, names))
     return events
 
 
@@ -118,7 +186,8 @@ def export_run(result: "RunResult", path: Optional[str] = None,
         run_id = result.obs.run_id
     doc = {
         "traceEvents": trace_events(result.machine, result.runtime.log,
-                                    run_id=run_id or ""),
+                                    run_id=run_id or "",
+                                    trace=result.trace),
         "displayTimeUnit": "ms",
         "otherData": {
             "run": run_id or "",

@@ -202,6 +202,35 @@ class JobHandle:
                 "phases": dict(self._phase_seconds),
             }
 
+    def critpath(self) -> dict:
+        """Phase-level bottleneck attribution for this job.
+
+        The service-side analogue of the simulator's critical-path
+        analysis (:mod:`repro.obs.critpath`): ranks the resolution
+        phases the job's wall time went to and names the bottleneck,
+        so "why was this job slow" is answered by the same taxonomy
+        move -- attribute, rank, point -- one layer up.  Phases
+        overlap only trivially here (resolution is sequential per
+        job), so their seconds sum to approximately the job's total.
+        """
+        with self._lock:
+            phases = dict(self._phase_seconds)
+        total = sum(phases.values())
+        ranked = [
+            {"phase": name,
+             "seconds": round(seconds, 6),
+             "fraction": round(seconds / total, 4) if total else 0.0}
+            for name, seconds in sorted(phases.items(),
+                                        key=lambda kv: (-kv[1], kv[0]))
+        ]
+        return {
+            "job_id": self.job_id,
+            "experiment": self.experiment.name,
+            "total_seconds": round(total, 6),
+            "phases": ranked,
+            "bottleneck": ranked[0]["phase"] if ranked else None,
+        }
+
     def result(self, timeout: Optional[float] = None) -> "ExperimentResult":
         """Block until the whole grid resolved; raise if any run failed."""
         from repro.errors import ExperimentExecutionError

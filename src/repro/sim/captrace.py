@@ -120,6 +120,11 @@ class TraceCapture:
         self.accesses: dict[int, tuple] = {}
         #: seqno -> seq_id whose busy_cycles this event's delay charged
         self.busy_seq: dict[int, int] = {}
+        #: seqno -> seq_id the delay is *attributed* to without being
+        #: charged to its busy_cycles (ring-transition stages, proxy
+        #: egress, context switches); analysis-only -- replay derives
+        #: utilization from busy_seq alone
+        self.owner_seq: dict[int, int] = {}
         #: (kind, at_seqno, at_now, arg) in chronological order
         self.marks: list[tuple[str, int, int, Any]] = []
         self._next_proxy_id = 0
@@ -128,6 +133,7 @@ class TraceCapture:
         self._pend_accesses: list[tuple[int, int, int, bool]] = []
         self._pend_cost = 0
         self._pend_busy: Optional[int] = None
+        self._pend_owner: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Engine hook
@@ -153,6 +159,9 @@ class TraceCapture:
         if self._pend_busy is not None:
             self.busy_seq[seqno] = self._pend_busy
             self._pend_busy = None
+        if self._pend_owner is not None:
+            self.owner_seq[seqno] = self._pend_owner
+            self._pend_owner = None
 
     # ------------------------------------------------------------------
     # Machine-side annotations (always immediately before the one
@@ -173,6 +182,13 @@ class TraceCapture:
         """The next scheduled delay was charged to ``seq_id``'s
         busy_cycles."""
         self._pend_busy = seq_id
+
+    def pend_owner(self, seq_id: int) -> None:
+        """The next scheduled delay belongs to ``seq_id`` for
+        *attribution* (critical-path / bottleneck analysis) without
+        charging its busy_cycles -- the serialization stages where the
+        sequencer is architecturally occupied but not executing an op."""
+        self._pend_owner = seq_id
 
     def mark(self, kind: str, arg: Any = None) -> None:
         """Record a point-in-time observation during the current event."""
@@ -206,6 +222,9 @@ class CapturedTrace:
     accesses: dict[int, tuple]
     busy_seq: dict[int, int]
     marks: list[tuple[str, int, int, Any]]
+    #: analysis-only sequencer attribution for serialization delays
+    #: (see :meth:`TraceCapture.pend_owner`)
+    owner_seq: dict[int, int] = field(default_factory=dict)
     #: the execution-driven summary of the captured run, attached by
     #: the experiment layer (replay re-prices it)
     snapshot: Optional["RunSummary"] = field(default=None, repr=False)
@@ -226,11 +245,66 @@ class CapturedTrace:
             accesses=capture.accesses,
             busy_seq=capture.busy_seq,
             marks=capture.marks,
+            owner_seq=capture.owner_seq,
         )
 
     @property
     def num_events(self) -> int:
         return len(self.parents)
+
+    # ------------------------------------------------------------------
+    # JSON portability (committed analysis fixtures, artifact exchange)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-serializable copy of the trace (without the attached
+        :class:`RunSummary` snapshot -- analysis needs only the graph).
+
+        Mapping keys become strings and tuples become lists, exactly
+        reversed by :meth:`from_dict`; a round trip preserves every
+        field :mod:`repro.obs.critpath` reads.
+        """
+        return {
+            "schema": "repro.captrace/1",
+            "params": dataclasses.asdict(self.params),
+            "domains": [list(d) for d in self.domains],
+            "oms_ids": list(self.oms_ids),
+            "ams_ids": list(self.ams_ids),
+            "app_pid": self.app_pid,
+            "parents": list(self.parents),
+            "delays": list(self.delays),
+            "root_now": {str(k): v for k, v in self.root_now.items()},
+            "coefs": {str(k): [list(c) for c in v]
+                      for k, v in self.coefs.items()},
+            "accesses": {str(k): [cost, [list(a) for a in records]]
+                         for k, (cost, records) in self.accesses.items()},
+            "busy_seq": {str(k): v for k, v in self.busy_seq.items()},
+            "owner_seq": {str(k): v for k, v in self.owner_seq.items()},
+            "marks": [list(m) for m in self.marks],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CapturedTrace":
+        """Rebuild a trace from :meth:`to_dict` output (no snapshot, so
+        the result analyzes but does not replay)."""
+        return cls(
+            params=MachineParams(**data["params"]),
+            domains=tuple(tuple(d) for d in data["domains"]),
+            oms_ids=tuple(data["oms_ids"]),
+            ams_ids=tuple(data["ams_ids"]),
+            app_pid=data["app_pid"],
+            parents=list(data["parents"]),
+            delays=list(data["delays"]),
+            root_now={int(k): v for k, v in data["root_now"].items()},
+            coefs={int(k): tuple(tuple(c) for c in v)
+                   for k, v in data["coefs"].items()},
+            accesses={int(k): (cost, tuple(tuple(a) for a in records))
+                      for k, (cost, records) in data["accesses"].items()},
+            busy_seq={int(k): v for k, v in data["busy_seq"].items()},
+            owner_seq={int(k): v
+                       for k, v in data.get("owner_seq", {}).items()},
+            marks=[(str(m[0]), int(m[1]), int(m[2]), m[3])
+                   for m in data["marks"]],
+        )
 
 
 #: the MachineParams fields that shape the cache model (as opposed to

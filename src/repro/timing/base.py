@@ -45,6 +45,101 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.exec.ops import MachineOp
 
 
+#: The canonical stall/serialization taxonomy every timing model and
+#: the machine's serialization sites attribute cycles into.  The first
+#: group is work (compute/memory/page_walk), the second is the paper's
+#: serialization costs (signal broadcasts, kernel services, context
+#: switches), the third is the scoreboard pipeline's hazard classes,
+#: and the last two are derived occupancy states (an AMS suspended for
+#: an OMS Ring-0 entry; a sequencer with nothing to run).
+STALL_CLASSES = (
+    "compute", "memory", "page_walk",
+    "signal", "atomic", "syscall_service", "page_fault_service",
+    "timer_service", "interrupt_service", "context_switch", "state_save",
+    "frontend", "raw", "waw", "structural", "wb_port", "drain",
+    "suspended", "idle",
+)
+
+#: MachineParams cost-coefficient field -> stall class.  This is the
+#: shared vocabulary between the trace-capture coefficient
+#: decomposition (``repro.sim.captrace``) and the live stall accounts,
+#: so a captured-trace analysis and an observed-run analysis bucket
+#: the same cycle into the same class.
+PARAM_CLASS = {
+    "signal_cost": "signal",
+    "syscall_service_cost": "syscall_service",
+    "page_fault_service_cost": "page_fault_service",
+    "timer_service_cost": "timer_service",
+    "interrupt_service_cost": "interrupt_service",
+    "context_switch_cost": "context_switch",
+    "sequencer_state_save_cost": "state_save",
+    "page_walk_cost": "page_walk",
+    "atomic_op_cost": "atomic",
+}
+
+
+class StallAccount:
+    """Per-sequencer, per-class cycle attribution for one run.
+
+    A plain ``(seq_id, class) -> cycles`` dict behind the narrowest
+    possible hot-path API (:meth:`note` is one dict update); timing
+    models and the machine's serialization sites write into it only
+    when a run is observed, so un-observed runs never touch one.
+
+    Hot paths that cannot afford even :meth:`note` (the fixed model's
+    per-op charge closure) accumulate privately and register a *drain
+    source* via :meth:`add_source`; every read API settles the sources
+    first, so readers always see the merged totals.
+    """
+
+    __slots__ = ("cycles", "_sources")
+
+    def __init__(self) -> None:
+        self.cycles: dict[tuple[int, str], int] = {}
+        self._sources: list = []
+
+    def note(self, seq_id: int, klass: str, cycles: int) -> None:
+        """Charge ``cycles`` on ``seq_id`` to stall class ``klass``."""
+        key = (seq_id, klass)
+        c = self.cycles
+        c[key] = c.get(key, 0) + cycles
+
+    def add_source(self, drain) -> None:
+        """Register ``drain(account)``: called before any read to merge
+        (and zero) a producer's private accumulation buffers."""
+        self._sources.append(drain)
+
+    def settle(self) -> None:
+        """Merge every registered source's pending cycles."""
+        for drain in self._sources:
+            drain(self)
+
+    def per_sequencer(self) -> dict[int, dict[str, int]]:
+        """``seq_id -> {class: cycles}`` with deterministic ordering."""
+        self.settle()
+        out: dict[int, dict[str, int]] = {}
+        for (seq_id, klass), cycles in sorted(self.cycles.items()):
+            out.setdefault(seq_id, {})[klass] = cycles
+        return out
+
+    def by_class(self) -> dict[str, int]:
+        """``class -> cycles`` summed over sequencers (sorted keys)."""
+        self.settle()
+        out: dict[str, int] = {}
+        for (_, klass), cycles in self.cycles.items():
+            out[klass] = out.get(klass, 0) + cycles
+        return dict(sorted(out.items()))
+
+    def items(self) -> list[tuple[tuple[int, str], int]]:
+        """Sorted ``((seq_id, class), cycles)`` pairs, settled."""
+        self.settle()
+        return sorted(self.cycles.items())
+
+    def total(self) -> int:
+        self.settle()
+        return sum(self.cycles.values())
+
+
 class TimingModel:
     """One way of pricing a simulated machine's operations.
 
@@ -61,6 +156,15 @@ class TimingModel:
     supports_capture: bool = False
     #: one-line description for docs and error messages
     description: str = ""
+    #: :class:`StallAccount` when the run is observed, else None -- the
+    #: class default keeps the un-observed charge path branch-free for
+    #: models (like ``fixed``) that account through swapped closures
+    stalls: Optional["StallAccount"] = None
+    #: set (on the instance) by :meth:`attach_observation` when the
+    #: model's charge path already bumps the observer's op/cycle
+    #: counters itself, so the machine must not stack its generic
+    #: counting wrapper on top
+    observation_counts_ops: bool = False
 
     def canonical_name(self) -> str:
         """The normalized registry name this model prices as."""
@@ -78,6 +182,33 @@ class TimingModel:
         here (params are frozen, so hoisted values never go stale).
         """
         self.machine = machine
+
+    def attach_stalls(self, stalls: "StallAccount") -> None:
+        """Attach a stall account (observed runs only; after bind).
+
+        Models charge every priced cycle into a :data:`STALL_CLASSES`
+        bucket on it.  Never called for un-observed runs, so the
+        default charge path stays untouched.
+        """
+        self.stalls = stalls
+
+    def attach_observation(self, obs) -> None:
+        """Attach an :class:`~repro.obs.observe.ObservedRun`.
+
+        The default forwards to :meth:`attach_stalls`; models that fuse
+        observation into their charge path (the fixed model's closure
+        swap) override this, bump ``obs.ops`` / ``obs.charged_cycles``
+        themselves, and set :attr:`observation_counts_ops` so the
+        machine skips its generic counting wrapper.
+        """
+        self.attach_stalls(obs.stalls)
+
+    def split_signal(self, cost: int) -> tuple[tuple[str, int], ...]:
+        """Decompose the most recent :meth:`signal_cycles` result into
+        ``(stall class, cycles)`` parts for attribution at the machine's
+        serialization sites (which schedule the returned delay directly,
+        outside :meth:`charge`)."""
+        return (("signal", cost),)
 
     # ------------------------------------------------------------------
     # Pricing

@@ -62,3 +62,16 @@ class FixedTiming(TimingModel):
 
     def signal_cycles(self, seq: "Sequencer", count: int = 1) -> int:
         return count * self._signal_cost
+
+    # Stall attribution: this model does NOT decompose its charge path
+    # live.  Constant pricing means the full compute/memory/page_walk
+    # decomposition is recoverable exactly from a captured trace's
+    # coefficients (repro.obs.critpath.analyze_trace), so adding
+    # per-op accounting to the observed hot path would buy nothing but
+    # overhead -- the observability cost gate in
+    # benchmarks/test_obs_overhead.py keeps the observed/plain ratio
+    # honest.  The base-class attach_stalls is inherited unchanged:
+    # the machine's serialization sites (SIGNAL broadcasts, Ring-0
+    # services, proxy egress, context switches -- all rare events)
+    # note their classes directly, which is exactly the fixed-cost
+    # serialization taxonomy the paper's model defines.

@@ -107,6 +107,9 @@ class ScoreboardTiming(TimingModel):
         self._engine = machine.engine
         self._pipes = [_ProcPipeline(params.sb_alu_units, params.sb_mem_units)
                        for _ in machine.processors]
+        #: drain portion of the most recent signal_cycles() result
+        #: (consumed by split_signal / the SIGNAL charge right after)
+        self._last_drain = 0
 
     # ------------------------------------------------------------------
     # Pricing
@@ -121,10 +124,18 @@ class ScoreboardTiming(TimingModel):
         if lat < 1:
             lat = 1
 
+        stalls = self.stalls
         if type(op) is SignalShred:
             # `base` already came from signal_cycles (drain + refill)
             # and accounted for pipeline occupancy; don't queue the
             # broadcast on a functional unit on top of that.
+            if stalls is not None:
+                sid = seq.seq_id
+                stalls.note(sid, "frontend", self._frontend)
+                drain = self._last_drain if self._last_drain < lat else 0
+                if drain:
+                    stalls.note(sid, "drain", drain)
+                stalls.note(sid, "signal", lat - drain)
             return self._frontend + lat
 
         sid = seq.seq_id
@@ -139,34 +150,64 @@ class ScoreboardTiming(TimingModel):
         units = (pipe.mem if type(op) in (MemAccess, Touch, AtomicOp)
                  else pipe.alu)
         slot = min(range(len(units)), key=units.__getitem__)
-        start = units[slot]
-        if ready > start:
-            start = ready
+        avail = units[slot]
+        start = avail if avail > ready else ready
         done = start + lat
         units[slot] = done
         # single writeback port, one retirement per cycle, in order
-        wb = done if done > pipe.wb_free else pipe.wb_free
-        wb += 1
+        wb_wait = pipe.wb_free - done if pipe.wb_free > done else 0
+        wb = done + wb_wait + 1
+        waw_wait = 0
         writes = getattr(op, "writes", ())
         if writes:
             for reg in writes:
                 key = (sid, reg)
                 prior = reg_ready.get(key, 0)
                 if prior >= wb:       # WAW: retire after the earlier write
+                    waw_wait += prior + 1 - wb
                     wb = prior + 1
             for reg in writes:
                 reg_ready[(sid, reg)] = wb
         pipe.wb_free = wb
+        if stalls is not None:
+            # decompose `done - now` exactly: frontend + RAW wait +
+            # structural wait + execute (memory / page walks / compute);
+            # the retire-port and WAW waits happen after `done` (they
+            # surface as later ops' RAW stalls) and are tracked as
+            # their own families without inflating this op's cost
+            note = stalls.note
+            note(sid, "frontend", self._frontend)
+            raw = ready - (now + self._frontend)
+            if raw > 0:
+                note(sid, "raw", raw)
+            if avail > ready:
+                note(sid, "structural", avail - ready)
+            mem = access + fetch
+            if mem:
+                note(sid, "memory", mem)
+            if walks:
+                note(sid, "page_walk", walks * self._page_walk_cost)
+            compute = lat - mem - (walks * self._page_walk_cost if walks
+                                   else 0)
+            if compute:
+                note(sid, "compute", compute)
+            if wb_wait:
+                note(sid, "wb_port", wb_wait)
+            if waw_wait:
+                note(sid, "waw", waw_wait)
         # the sequencer is execution-serialized on `done`; the register
         # writeback at `wb` is what later RAW/WAW stalls see
         return done - now
 
     def signal_cycles(self, seq: "Sequencer", count: int = 1) -> int:
         if count <= 0:
+            self._last_drain = 0
             return 0
         now = self._engine.now
         pipe = self._pipes[seq.processor.proc_id]
-        cost = pipe.drain_time(now) + count * self._refill
+        drain = pipe.drain_time(now)
+        self._last_drain = drain
+        cost = drain + count * self._refill
         # the broadcast owns the drained pipeline until it completes
         done = now + cost
         for units in (pipe.alu, pipe.mem):
@@ -175,6 +216,10 @@ class ScoreboardTiming(TimingModel):
         if pipe.wb_free < done:
             pipe.wb_free = done
         return cost
+
+    def split_signal(self, cost: int) -> tuple[tuple[str, int], ...]:
+        drain = self._last_drain if self._last_drain < cost else 0
+        return (("drain", drain), ("signal", cost - drain))
 
     # ------------------------------------------------------------------
     # Quantum hooks

@@ -364,6 +364,74 @@ class TestPerfettoExport:
         assert path.read_text() == golden.read_text()
 
 
+class TestPerfettoCaptureEnrichment:
+    """Counter tracks and critical-path flow events, present only when
+    the run captured its event-dependency trace."""
+
+    def _export(self, tmp_path):
+        reg = MetricsRegistry()
+        result = (Session("misp", "1x2").capture()
+                  .observe(registry=reg, run_id="golden")
+                  .run("dense_mvm", scale=0.01))
+        path = tmp_path / "trace.json"
+        doc = export_run(result, str(path), run_id="golden")
+        return doc, path
+
+    def test_counter_tracks_cover_each_sequencer(self, tmp_path):
+        doc, _ = self._export(tmp_path)
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert counters, "captured export must emit counter tracks"
+        names = {e["name"] for e in counters}
+        assert "outstanding events" in names
+        util = [n for n in names if n.startswith("utilization")]
+        assert len(util) == 2  # one per sequencer of the 1x2 machine
+
+    def test_critical_path_slices_and_flows(self, tmp_path):
+        doc, _ = self._export(tmp_path)
+        events = doc["traceEvents"]
+        crit = [e for e in events
+                if e["ph"] == "X" and e.get("pid") == 2]
+        assert crit, "captured export must draw the critical path"
+        starts = {e["ph"] for e in events}
+        assert {"s", "f"} <= starts
+        flows_out = [e for e in events if e["ph"] == "s"]
+        flows_in = [e for e in events if e["ph"] == "f"]
+        assert len(flows_out) == len(flows_in) == len(crit) - 1
+
+    def test_capture_golden_file(self, tmp_path):
+        _, path = self._export(tmp_path)
+        golden = GOLDEN / "trace_capture_misp_1x2_dense_mvm.json"
+        assert path.read_text() == golden.read_text()
+
+
+class TestHistogramPercentile:
+    def test_percentile_upper_bound(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", "latency", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 0.7, 5.0, 50.0):
+            h.observe(v)
+        child = h.labels()
+        assert child.percentile(50) == 1.0
+        assert child.percentile(75) == 10.0
+        assert child.percentile(100) == 100.0
+
+    def test_percentile_beyond_buckets_is_inf(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", "latency", buckets=(1.0,))
+        h.observe(5.0)
+        assert h.labels().percentile(99) == float("inf")
+
+    def test_percentile_empty_and_range(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", "latency", buckets=(1.0,))
+        child = h.labels()
+        assert child.percentile(99) == 0.0
+        with pytest.raises(ValueError):
+            child.percentile(101)
+        with pytest.raises(ValueError):
+            child.percentile(-1)
+
+
 # ----------------------------------------------------------------------
 # Report CLI end to end
 # ----------------------------------------------------------------------
